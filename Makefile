@@ -1,0 +1,42 @@
+# Convenience targets for the CCP reproduction. Everything is plain
+# `go build`/`go test`; the Makefile just names the common workflows.
+
+GO ?= go
+
+.PHONY: all build test test-short bench vet fmt examples experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the real-time Figure 2 IPC measurement (several minutes of
+# wall-clock echo round trips).
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/customalg
+	$(GO) run ./examples/multiflow
+	$(GO) run ./examples/socketagent
+
+# Regenerates every table and figure (fig5 and the low-RTT sweep take a
+# few minutes each); CSV series land in results/.
+experiments:
+	$(GO) run ./cmd/ccp-sim -experiment all -out results
+
+clean:
+	rm -rf results

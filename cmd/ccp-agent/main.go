@@ -1,0 +1,102 @@
+// Command ccp-agent is the stand-alone user-space congestion control plane
+// of Figure 1: it listens on a Unix socket, speaks the CCP wire protocol,
+// and runs one algorithm instance per flow for any connecting datapath.
+//
+// Usage:
+//
+//	ccp-agent -listen /tmp/ccp.sock -default-alg cubic
+//	ccp-agent -list-algs
+//	ccp-agent -listen /tmp/ccp.sock -max-rate-mbps 100   # per-flow policy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/ccp-repro/ccp/internal/algorithms"
+	"github.com/ccp-repro/ccp/internal/core"
+	"github.com/ccp-repro/ccp/internal/ipc"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "/tmp/ccp.sock", "Unix socket path to listen on")
+		defaultAlg = flag.String("default-alg", "cubic", "algorithm for flows that don't request one")
+		maxRate    = flag.Float64("max-rate-mbps", 0, "per-flow max rate policy in Mbit/s (0 = none)")
+		maxCwnd    = flag.Int("max-cwnd-kb", 0, "per-flow max cwnd policy in KiB (0 = none)")
+		listAlgs   = flag.Bool("list-algs", false, "list registered algorithms and exit")
+		verbose    = flag.Bool("v", false, "log per-flow activity")
+	)
+	flag.Parse()
+
+	reg := algorithms.NewRegistry()
+	if *listAlgs {
+		for _, name := range reg.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	var policy core.PolicyFunc
+	if *maxRate > 0 || *maxCwnd > 0 {
+		policy = func(info core.FlowInfo) core.Policy {
+			return core.Policy{
+				MaxRateBps:   *maxRate * 1e6 / 8,
+				MaxCwndBytes: *maxCwnd * 1024,
+			}
+		}
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	agent, err := core.NewAgent(core.AgentConfig{
+		Registry:   reg,
+		DefaultAlg: *defaultAlg,
+		Policy:     policy,
+		Logf:       logf,
+	})
+	if err != nil {
+		log.Fatalf("ccp-agent: %v", err)
+	}
+
+	os.Remove(*listen)
+	ln, err := ipc.ListenUnix(*listen)
+	if err != nil {
+		log.Fatalf("ccp-agent: listen %s: %v", *listen, err)
+	}
+	defer ln.Close()
+	defer os.Remove(*listen)
+	log.Printf("ccp-agent: listening on %s (default algorithm %q)", *listen, *defaultAlg)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		ln.Close()
+		os.Remove(*listen)
+		os.Exit(0)
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("ccp-agent: accept: %v", err)
+			return
+		}
+		if *verbose {
+			log.Printf("ccp-agent: datapath connected")
+		}
+		go func() {
+			t := ipc.NewStream(conn)
+			if err := agent.ServeTransport(t); err != nil && *verbose {
+				log.Printf("ccp-agent: datapath disconnected: %v", err)
+			}
+			t.Close()
+		}()
+	}
+}

@@ -1,0 +1,11 @@
+// Package ccp is a from-scratch reproduction of "The Case for Moving
+// Congestion Control Out of the Datapath" (HotNets 2017): a congestion
+// control plane (CCP) that runs congestion control algorithms in a
+// user-space agent, off the datapath, communicating through a narrow API of
+// control programs, batched measurements, and urgent events.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); runnable binaries are under cmd/, examples under examples/,
+// and the benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation (see EXPERIMENTS.md for measured results).
+package ccp

@@ -1,0 +1,96 @@
+// Customalg: write a new congestion control algorithm against the CCP API
+// and deploy it without touching any datapath code — the paper's central
+// promise ("ease of programming", §2.2).
+//
+// SlowAIMD below is a complete algorithm in ~40 lines of ordinary Go: it
+// implements Table 3's three handlers and pushes decisions through the Flow
+// handle. The same code would run over the simulated datapath used here,
+// over the Unix-socket agent (cmd/ccp-agent), or over any future
+// CCP-conformant datapath — write once, run everywhere.
+//
+//	go run ./examples/customalg
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/algorithms"
+	"github.com/ccp-repro/ccp/internal/core"
+	"github.com/ccp-repro/ccp/internal/harness"
+	"github.com/ccp-repro/ccp/internal/netsim"
+	"github.com/ccp-repro/ccp/internal/tcp"
+)
+
+// SlowAIMD is a deliberately gentle AIMD: half a segment of additive
+// increase per RTT, and a mild ×0.8 decrease on loss. Floating point, no
+// kernel programming, no per-datapath port.
+type SlowAIMD struct {
+	cwnd float64
+	mss  float64
+}
+
+// Name identifies the algorithm to the agent.
+func (s *SlowAIMD) Name() string { return "slow-aimd" }
+
+// Init runs when the datapath announces the flow.
+func (s *SlowAIMD) Init(f *core.Flow) {
+	s.mss = float64(f.Info.MSS)
+	s.cwnd = float64(f.Info.InitCwnd)
+	f.SetCwnd(int(s.cwnd))
+}
+
+// OnMeasurement runs on each batched report (about once per RTT).
+func (s *SlowAIMD) OnMeasurement(f *core.Flow, m core.Measurement) {
+	if m.GetOr("acked", 0) <= 0 {
+		return
+	}
+	s.cwnd += 0.5 * s.mss
+	f.SetCwnd(int(s.cwnd))
+}
+
+// OnUrgent runs immediately on congestion signals.
+func (s *SlowAIMD) OnUrgent(f *core.Flow, u core.UrgentEvent) {
+	s.cwnd *= 0.8
+	if s.cwnd < 2*s.mss {
+		s.cwnd = 2 * s.mss
+	}
+	f.SetCwnd(int(s.cwnd))
+}
+
+func main() {
+	// Register the new algorithm alongside the bundled ones.
+	reg := algorithms.NewRegistry()
+	reg.Register("slow-aimd", func() core.Alg { return &SlowAIMD{} })
+
+	// Race it against CCP Reno on a shared bottleneck.
+	const rate = 48e6
+	net := harness.New(harness.Config{
+		Link: netsim.LinkConfig{
+			RateBps:    rate,
+			Delay:      5 * time.Millisecond,
+			QueueBytes: harness.BDPBytes(rate, 10*time.Millisecond),
+		},
+		Registry:   reg,
+		DefaultAlg: "reno",
+	})
+	mine := net.AddCCPFlow(1, "slow-aimd", tcp.Options{})
+	reno := net.AddCCPFlow(2, "reno", tcp.Options{})
+	mine.Conn.Start()
+	reno.Conn.Start()
+
+	const dur = 30 * time.Second
+	net.Run(dur)
+
+	mbps := func(f *harness.CCPFlow) float64 {
+		return float64(f.Receiver.Delivered()) * 8 / dur.Seconds() / 1e6
+	}
+	fmt.Println("customalg — a new algorithm written against the CCP API in ~40 lines")
+	fmt.Println()
+	fmt.Printf("slow-aimd goodput: %6.2f Mbit/s (gentle: +0.5 MSS/RTT, ×0.8 on loss)\n", mbps(mine))
+	fmt.Printf("ccp-reno  goodput: %6.2f Mbit/s (classic: +1 MSS/RTT, ×0.5 on loss)\n", mbps(reno))
+	fmt.Printf("combined utilization: %.1f%%\n", net.Utilization(dur)*100)
+	fmt.Println()
+	fmt.Println("As expected, the gentler decrease lets slow-aimd hold a larger share;")
+	fmt.Println("changing that policy is a one-line edit in user space.")
+}

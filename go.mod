@@ -1,0 +1,3 @@
+module github.com/ccp-repro/ccp
+
+go 1.22

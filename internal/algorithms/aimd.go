@@ -1,0 +1,48 @@
+package algorithms
+
+import (
+	"github.com/ccp-repro/ccp/internal/core"
+)
+
+// AIMD is the minimal CCP algorithm — general additive-increase,
+// multiplicative-decrease with tunable parameters. It is the paper's "are
+// CCP algorithms easier to write?" demonstration: a complete, deployable
+// congestion controller in ~40 lines, used verbatim by examples/customalg.
+type AIMD struct {
+	IncreaseSegs   float64 // segments added per RTT
+	DecreaseFactor float64 // window multiplier on loss (e.g. 0.5)
+
+	mss  float64
+	cwnd float64
+}
+
+// NewAIMD returns an AIMD(a, b) controller: +a segments per RTT, ×b on loss.
+func NewAIMD(a, b float64) *AIMD {
+	return &AIMD{IncreaseSegs: a, DecreaseFactor: b}
+}
+
+// Name implements core.Alg.
+func (a *AIMD) Name() string { return "aimd" }
+
+// Init implements core.Alg.
+func (a *AIMD) Init(f *core.Flow) {
+	a.mss = float64(f.Info.MSS)
+	a.cwnd = float64(f.Info.InitCwnd)
+	f.SetCwnd(int(a.cwnd))
+}
+
+// OnMeasurement implements core.Alg: one additive increase per report.
+func (a *AIMD) OnMeasurement(f *core.Flow, m core.Measurement) {
+	if m.GetOr("acked", 0) <= 0 {
+		return
+	}
+	a.cwnd += a.IncreaseSegs * a.mss
+	f.SetCwnd(int(a.cwnd))
+}
+
+// OnUrgent implements core.Alg: multiplicative decrease on any congestion.
+func (a *AIMD) OnUrgent(f *core.Flow, u core.UrgentEvent) {
+	_ = u
+	a.cwnd = maxF(a.cwnd*a.DecreaseFactor, 2*a.mss)
+	f.SetCwnd(int(a.cwnd))
+}

@@ -1,0 +1,175 @@
+package algorithms
+
+import (
+	"github.com/ccp-repro/ccp/internal/core"
+	"github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/proto"
+)
+
+// BBR is a simplified BBR built exactly the way the paper's §2.1 proposes:
+// once steady state is reached, the agent installs the pulse control
+// program
+//
+//	Rate(1.25*r).WaitRtts(1.0).Report().
+//	Rate(0.75*r).WaitRtts(1.0).Report().
+//	Rate(r).WaitRtts(6.0).Report()
+//
+// so the datapath itself sequences the probing gains and aligns
+// measurement windows with them, while the agent updates the bottleneck
+// bandwidth estimate from the delivery-rate reports and reinstalls the
+// program when the estimate moves. A Cwnd cap of 2×BDP bounds the inflight
+// data, as in BBR proper.
+type BBR struct {
+	mss float64
+
+	state      bbrState
+	btlBw      float64 // bytes/sec, windowed max of delivery-rate reports
+	bwWindow   []float64
+	rtProp     float64 // seconds, min RTT
+	fullBwCnt  int
+	lastFullBw float64
+	installed  float64 // rate baked into the installed pulse program
+}
+
+type bbrState uint8
+
+const (
+	bbrStartup bbrState = iota
+	bbrDrain
+	bbrProbeBW
+)
+
+const (
+	bbrHighGain  = 2.885
+	bbrBwWindowN = 10 // reports; pulses report ~3x per 8 RTTs
+	bbrReinstall = 1.05
+)
+
+// NewBBR returns a CCP BBR instance.
+func NewBBR() *BBR { return &BBR{} }
+
+// Name implements core.Alg.
+func (b *BBR) Name() string { return "bbr" }
+
+// Init implements core.Alg: start in STARTUP, probing with high gain once
+// per RTT using the default EWMA measurement.
+func (b *BBR) Init(f *core.Flow) {
+	b.mss = float64(f.Info.MSS)
+	b.state = bbrStartup
+	b.rtProp = 0
+	b.btlBw = 0
+	// Startup program: rate updates come from the agent per report, so the
+	// default EWMA/1-RTT reporting program suffices; seed a generous rate.
+	initRate := float64(f.Info.InitCwnd) * 10
+	prog := lang.NewProgram().
+		MeasureEWMA().
+		Rate(lang.C(initRate)).
+		Cwnd(lang.C(float64(f.Info.InitCwnd) * 4)).
+		WaitRtts(1).
+		Report().
+		MustBuild()
+	f.Install(prog)
+	b.installed = initRate
+}
+
+// OnMeasurement implements core.Alg.
+func (b *BBR) OnMeasurement(f *core.Flow, m core.Measurement) {
+	rcv := m.GetOr("rcv_rate", 0)
+	rtt := m.GetOr("last_rtt", m.GetOr("rtt", 0))
+	if rtt > 0 && (b.rtProp == 0 || rtt < b.rtProp) {
+		b.rtProp = rtt
+	}
+	if rcv > 0 {
+		b.bwWindow = append(b.bwWindow, rcv)
+		if len(b.bwWindow) > bbrBwWindowN {
+			b.bwWindow = b.bwWindow[1:]
+		}
+		b.btlBw = 0
+		for _, v := range b.bwWindow {
+			if v > b.btlBw {
+				b.btlBw = v
+			}
+		}
+	}
+	if b.btlBw == 0 || b.rtProp == 0 {
+		return
+	}
+
+	switch b.state {
+	case bbrStartup:
+		// Pace at high gain; exit when bandwidth stops growing 25%/round.
+		if b.btlBw > b.lastFullBw*1.25 {
+			b.lastFullBw = b.btlBw
+			b.fullBwCnt = 0
+		} else {
+			b.fullBwCnt++
+		}
+		if b.fullBwCnt >= 3 {
+			b.state = bbrDrain
+			b.setSteadyProgram(f, b.btlBw, 1/bbrHighGain)
+			return
+		}
+		b.setStartupRate(f, b.btlBw*bbrHighGain)
+	case bbrDrain:
+		// One report at drain gain has elapsed; enter steady pulses.
+		b.state = bbrProbeBW
+		b.setSteadyProgram(f, b.btlBw, 1)
+	case bbrProbeBW:
+		// Reinstall the pulse program only when the estimate moved enough.
+		if b.btlBw > b.installed*bbrReinstall || b.btlBw < b.installed/bbrReinstall {
+			b.setSteadyProgram(f, b.btlBw, 1)
+		}
+	}
+}
+
+func (b *BBR) setStartupRate(f *core.Flow, rate float64) {
+	cap := b.cwndCap()
+	prog := lang.NewProgram().
+		MeasureEWMA().
+		Rate(lang.C(rate)).
+		Cwnd(lang.C(cap)).
+		WaitRtts(1).
+		Report().
+		MustBuild()
+	f.Install(prog)
+	b.installed = rate / bbrHighGain
+}
+
+// setSteadyProgram installs the §2.1 pulse program with r = gain×btlBw.
+func (b *BBR) setSteadyProgram(f *core.Flow, btlBw, gain float64) {
+	r := btlBw * gain
+	cap := b.cwndCap()
+	prog := lang.NewProgram().
+		MeasureEWMA().
+		Cwnd(lang.C(cap)).
+		Rate(lang.C(1.25 * r)).WaitRtts(1).Report().
+		Rate(lang.C(0.75 * r)).WaitRtts(1).Report().
+		Rate(lang.C(r)).WaitRtts(6).Report().
+		MustBuild()
+	f.Install(prog)
+	b.installed = r
+}
+
+// cwndCap bounds inflight at 2×BDP.
+func (b *BBR) cwndCap() float64 {
+	bdp := b.btlBw * b.rtProp
+	cap := 2 * bdp
+	if cap < 4*b.mss {
+		cap = 4 * b.mss
+	}
+	return cap
+}
+
+// OnUrgent implements core.Alg: BBR does not react to isolated losses; a
+// timeout conservatively restarts the search.
+func (b *BBR) OnUrgent(f *core.Flow, u core.UrgentEvent) {
+	if u.Kind == proto.UrgentTimeout {
+		b.state = bbrStartup
+		b.fullBwCnt = 0
+		b.lastFullBw = 0
+		b.bwWindow = b.bwWindow[:0]
+		if b.btlBw > 0 {
+			b.setStartupRate(f, b.btlBw)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package algorithms
+
+import (
+	"github.com/ccp-repro/ccp/internal/core"
+	"github.com/ccp-repro/ccp/internal/proto"
+)
+
+// NewRenoAlg is CCP NewReno, the Figure 4 workload: Reno dynamics with one
+// window halving per recovery episode. Episode boundaries are inferred from
+// report progress: a new loss urgent opens an episode, and the episode ends
+// once the acked byte count advances past the window outstanding at entry.
+type NewRenoAlg struct {
+	cwnd     float64
+	ssthresh float64
+	mss      float64
+
+	inRecovery   bool
+	recoverAcked float64 // bytes still to be acked before recovery exits
+}
+
+// NewNewReno returns a CCP NewReno instance.
+func NewNewReno() *NewRenoAlg { return &NewRenoAlg{} }
+
+// Name implements core.Alg.
+func (n *NewRenoAlg) Name() string { return "newreno" }
+
+// Init implements core.Alg.
+func (n *NewRenoAlg) Init(f *core.Flow) {
+	n.mss = float64(f.Info.MSS)
+	n.cwnd = float64(f.Info.InitCwnd)
+	n.ssthresh = 1 << 30
+	n.inRecovery = false
+	f.SetCwnd(int(n.cwnd))
+}
+
+// OnMeasurement implements core.Alg.
+func (n *NewRenoAlg) OnMeasurement(f *core.Flow, m core.Measurement) {
+	acked := m.GetOr("acked", 0)
+	if acked <= 0 {
+		return
+	}
+	if n.inRecovery {
+		n.recoverAcked -= acked
+		if n.recoverAcked <= 0 {
+			n.inRecovery = false
+		} else {
+			return // hold the window at ssthresh through recovery
+		}
+	}
+	if n.cwnd < n.ssthresh {
+		n.cwnd += acked
+		if n.cwnd > n.ssthresh {
+			n.cwnd = n.ssthresh
+		}
+	} else {
+		n.cwnd += n.mss * (acked / n.cwnd)
+	}
+	f.SetCwnd(int(n.cwnd))
+}
+
+// OnUrgent implements core.Alg.
+func (n *NewRenoAlg) OnUrgent(f *core.Flow, u core.UrgentEvent) {
+	switch u.Kind {
+	case proto.UrgentDupAck, proto.UrgentECN:
+		if n.inRecovery {
+			return // one halving per episode
+		}
+		n.inRecovery = true
+		n.recoverAcked = n.cwnd
+		n.ssthresh = maxF(n.cwnd/2, 2*n.mss)
+		n.cwnd = n.ssthresh
+	case proto.UrgentTimeout:
+		n.inRecovery = false
+		n.ssthresh = maxF(n.cwnd/2, 2*n.mss)
+		n.cwnd = n.mss
+	}
+	f.SetCwnd(int(n.cwnd))
+}

@@ -1,0 +1,126 @@
+package algorithms
+
+import (
+	"math"
+
+	"github.com/ccp-repro/ccp/internal/core"
+	"github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/proto"
+)
+
+// PCC is CCP PCC: utility-based rate selection. The agent installs a
+// control program that runs two consecutive measurement intervals — one at
+// r(1+ε), one at r(1−ε) — with a Report after each, so the datapath aligns
+// the A/B trial boundaries exactly (the synchronization §2.1 argues control
+// programs exist for). The agent scores each interval with PCC's utility
+// function (throughput with a steep loss penalty, after Allegro's
+// u = T^0.9 − 11.35·T·L) and moves the base rate toward the winner, with
+// momentum on consecutive same-direction moves.
+type PCC struct {
+	mss  float64
+	rate float64 // base rate r, bytes/sec
+	eps  float64 // probe amplitude
+
+	phase    int // 0: awaiting the (1+ε) report, 1: awaiting the (1−ε) report
+	utilHigh float64
+	momentum float64 // consecutive same-direction amplification
+	lastDir  int
+	minRate  float64
+}
+
+// Trial intervals span several RTTs so each carries enough packets for the
+// utility comparison to be meaningful even at low rates.
+const pccIntervalRtts = 2.0
+
+// NewPCC returns a CCP PCC instance.
+func NewPCC() *PCC {
+	return &PCC{eps: 0.05, momentum: 1}
+}
+
+// Name implements core.Alg.
+func (p *PCC) Name() string { return "pcc" }
+
+// Init implements core.Alg.
+func (p *PCC) Init(f *core.Flow) {
+	p.mss = float64(f.Info.MSS)
+	p.rate = float64(f.Info.InitCwnd) * 20
+	p.minRate = 2 * p.mss
+	p.phase = 0
+	p.momentum = 1
+	p.install(f)
+}
+
+// install programs the two-interval A/B trial.
+func (p *PCC) install(f *core.Flow) {
+	// The window is a safety cap, not the control: 2.5 trial-rate BDPs,
+	// evaluated against the live smoothed RTT in the datapath.
+	cwndCap := lang.Max(
+		lang.Mul(lang.C(p.rate*2.5), lang.V("srtt")),
+		lang.C(8*p.mss))
+	prog := lang.NewProgram().
+		MeasureEWMA().
+		Cwnd(cwndCap).
+		Rate(lang.C(p.rate * (1 + p.eps))).WaitRtts(pccIntervalRtts).Report().
+		Cwnd(cwndCap).
+		Rate(lang.C(p.rate * (1 - p.eps))).WaitRtts(pccIntervalRtts).Report().
+		MustBuild()
+	f.Install(prog)
+	p.phase = 0
+}
+
+// utility is PCC Allegro's objective: u = T^0.9 − 11.35·T·L, with T the
+// interval's goodput (bytes acked) and L the loss fraction.
+func (p *PCC) utility(acked, lost float64) float64 {
+	total := acked + lost
+	if total <= 0 {
+		return 0
+	}
+	lossFrac := lost / total
+	return math.Pow(acked, 0.9) - 11.35*acked*lossFrac
+}
+
+// OnMeasurement implements core.Alg: score the finished interval; after the
+// second interval, pick a direction.
+func (p *PCC) OnMeasurement(f *core.Flow, m core.Measurement) {
+	acked := m.GetOr("acked", 0)
+	lost := m.GetOr("lost", 0)
+	u := p.utility(acked, lost)
+
+	if p.phase == 0 {
+		p.utilHigh = u
+		p.phase = 1
+		return
+	}
+	// Second (1−ε) interval finished: move toward the better direction.
+	dir := 1 // ties probe upward: unused capacity is the common case
+	if u > p.utilHigh {
+		dir = -1
+	}
+	// Capacity guard: when the measured delivery rate falls well short of
+	// the trial rate, the link is saturated — don't keep probing upward on
+	// stale loss signals (loss detection lags the overshoot).
+	if rcv := m.GetOr("rcv_rate", 0); rcv > 0 && rcv < 0.7*p.rate {
+		dir = -1
+		p.momentum = 1
+	}
+	if dir == p.lastDir {
+		p.momentum = minF(p.momentum*2, 8)
+	} else {
+		p.momentum = 1
+	}
+	p.lastDir = dir
+	p.rate *= 1 + float64(dir)*p.eps*p.momentum
+	p.rate = maxF(p.rate, p.minRate)
+	p.install(f)
+}
+
+// OnUrgent implements core.Alg: PCC folds loss into utility; a timeout
+// indicates the trial rate badly overshot.
+func (p *PCC) OnUrgent(f *core.Flow, u core.UrgentEvent) {
+	if u.Kind == proto.UrgentTimeout {
+		p.rate = maxF(p.rate/2, p.minRate)
+		p.momentum = 1
+		p.lastDir = 0
+		p.install(f)
+	}
+}

@@ -1,0 +1,85 @@
+package algorithms
+
+import (
+	"github.com/ccp-repro/ccp/internal/core"
+	"github.com/ccp-repro/ccp/internal/proto"
+)
+
+// Reno is CCP Reno: slow start and AIMD congestion avoidance computed in
+// user space from per-RTT EWMA reports, with the window pushed to the
+// datapath via direct SetCwnd commands (the paper's "issuing commands from
+// the CCP each RTT" mode — no custom program needed beyond the default).
+type Reno struct {
+	cwnd     float64 // bytes, agent-side shadow
+	ssthresh float64
+	mss      float64
+	// cutSinceReport limits multiplicative decreases to one per report, so
+	// a burst of urgent loss events between reports counts once.
+	cutSinceReport bool
+}
+
+// NewReno returns a CCP Reno instance. (The constructor name collides
+// conceptually with the NewReno algorithm; see NewNewReno for that one.)
+func NewReno() *Reno { return &Reno{} }
+
+// Name implements core.Alg.
+func (r *Reno) Name() string { return "reno" }
+
+// Init implements core.Alg.
+func (r *Reno) Init(f *core.Flow) {
+	r.mss = float64(f.Info.MSS)
+	r.cwnd = float64(f.Info.InitCwnd)
+	r.ssthresh = 1 << 30
+	f.SetCwnd(int(r.cwnd))
+}
+
+// OnMeasurement implements core.Alg: one window update per report.
+func (r *Reno) OnMeasurement(f *core.Flow, m core.Measurement) {
+	r.cutSinceReport = false
+	acked := m.GetOr("acked", 0)
+	if acked <= 0 {
+		return
+	}
+	if r.cwnd < r.ssthresh {
+		// Slow start: cwnd grows by the bytes acked.
+		r.cwnd += acked
+		if r.cwnd > r.ssthresh {
+			r.cwnd = r.ssthresh
+		}
+	} else {
+		// Congestion avoidance: one MSS per cwnd's worth of ACKs.
+		r.cwnd += r.mss * (acked / r.cwnd)
+	}
+	f.SetCwnd(int(r.cwnd))
+}
+
+// OnUrgent implements core.Alg: halve on loss, collapse on timeout.
+func (r *Reno) OnUrgent(f *core.Flow, u core.UrgentEvent) {
+	switch u.Kind {
+	case proto.UrgentDupAck, proto.UrgentECN:
+		if r.cutSinceReport {
+			return
+		}
+		r.cutSinceReport = true
+		r.ssthresh = maxF(r.cwnd/2, 2*r.mss)
+		r.cwnd = r.ssthresh
+	case proto.UrgentTimeout:
+		r.ssthresh = maxF(r.cwnd/2, 2*r.mss)
+		r.cwnd = r.mss
+	}
+	f.SetCwnd(int(r.cwnd))
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

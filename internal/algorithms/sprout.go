@@ -1,0 +1,132 @@
+package algorithms
+
+import (
+	"math"
+
+	"github.com/ccp-repro/ccp/internal/core"
+	"github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/proto"
+)
+
+// Sprout is a simplified Sprout (Table 1's row): cautious rate control from
+// *equally spaced* delivery-rate measurements. The paper cites Sprout as
+// the reason control programs support absolute-time Wait — "Sprout models
+// available network capacity using equally spaced rate measurements" — so
+// this implementation installs Wait(tick).Report() and forecasts capacity
+// as an exponentially weighted mean and variance of the per-tick delivery
+// rate, pacing at a conservative quantile (mean − k·σ) to keep queues
+// short on highly variable links.
+type Sprout struct {
+	mss  float64
+	tick float64 // seconds between measurements (Sprout: 20 ms)
+	k    float64 // caution factor in standard deviations
+
+	mean    float64 // EW mean of delivery rate, bytes/sec
+	varEst  float64 // EW variance
+	samples int
+	srtt    float64
+	baseRTT float64 // minimum observed RTT (propagation estimate)
+	rate    float64 // current pacing rate
+	// ticksSinceAdj spaces rate adjustments about one RTT apart even
+	// though measurements arrive every tick: actuating faster than the
+	// feedback delay oscillates (the §2.3 control-theory point).
+	ticksSinceAdj int
+}
+
+// NewSprout returns a Sprout instance with the paper's 20 ms tick.
+func NewSprout() *Sprout {
+	return &Sprout{tick: 0.020, k: 0.5}
+}
+
+// Name implements core.Alg.
+func (s *Sprout) Name() string { return "sprout" }
+
+// Init implements core.Alg: equally spaced measurement intervals via the
+// absolute-time Wait primitive.
+func (s *Sprout) Init(f *core.Flow) {
+	s.mss = float64(f.Info.MSS)
+	s.mean = 0
+	s.varEst = 0
+	s.samples = 0
+	s.baseRTT = 0
+	s.rate = float64(f.Info.InitCwnd) * 10
+	prog := lang.NewProgram().
+		MeasureEWMA().
+		Rate(lang.C(s.rate)).
+		Wait(s.tick).
+		Report().
+		MustBuild()
+	f.Install(prog)
+}
+
+// OnMeasurement implements core.Alg: one forecast update per tick.
+func (s *Sprout) OnMeasurement(f *core.Flow, m core.Measurement) {
+	// Per-tick delivered throughput: acked bytes over the tick.
+	acked := m.GetOr("acked", 0)
+	sample := acked / s.tick
+	if rtt := m.GetOr("rtt", 0); rtt > 0 {
+		s.srtt = rtt
+		if s.baseRTT == 0 || rtt < s.baseRTT {
+			s.baseRTT = rtt
+		}
+	}
+	const g = 0.125
+	if s.samples == 0 {
+		s.mean = sample
+	} else {
+		d := sample - s.mean
+		s.mean += g * d
+		s.varEst = (1-g)*s.varEst + g*d*d
+	}
+	s.samples++
+	if s.samples < 3 || s.baseRTT == 0 || acked <= 0 {
+		return
+	}
+	// Space adjustments ~one RTT apart (but at least one tick).
+	s.ticksSinceAdj++
+	if float64(s.ticksSinceAdj)*s.tick < s.srtt {
+		return
+	}
+	s.ticksSinceAdj = 0
+	// Our paced sender only ever observes its own rate delivered, so the
+	// forecast alone cannot find unused capacity (real Sprout rides a
+	// cellular link that delivers at its own pace). Gate on delay: while
+	// the path shows no queueing, probe multiplicatively; once delay
+	// builds, fall back to the cautious sub-mean forecast.
+	switch {
+	case s.srtt < 1.2*s.baseRTT:
+		// No queueing: probe upward to discover capacity, bounded by
+		// twice the measured delivery so stale samples cannot run away.
+		s.rate = minF(maxF(s.rate, s.mean)*1.25, 2*s.mean)
+	case s.srtt > 1.5*s.baseRTT:
+		// Standing queue: back off below the forecast until it drains.
+		s.rate = minF(s.rate, s.mean) * 0.85
+	default:
+		// Near target: hold at the cautious sub-mean forecast.
+		s.rate = s.mean - s.k*math.Sqrt(s.varEst)
+	}
+	if s.rate < 2*s.mss {
+		s.rate = 2 * s.mss
+	}
+	// Window cap bounds the queue Sprout-style: an RTT plus two ticks of
+	// data, floored at four segments.
+	capBytes := s.rate * (2*s.tick + s.srtt)
+	if capBytes < 4*s.mss {
+		capBytes = 4 * s.mss
+	}
+	prog := lang.NewProgram().
+		MeasureEWMA().
+		Cwnd(lang.C(capBytes)).
+		Rate(lang.C(s.rate)).
+		Wait(s.tick).
+		Report().
+		MustBuild()
+	f.Install(prog)
+}
+
+// OnUrgent implements core.Alg: loss halves the forecast mean.
+func (s *Sprout) OnUrgent(f *core.Flow, u core.UrgentEvent) {
+	if u.Kind == proto.UrgentTimeout || u.Kind == proto.UrgentDupAck {
+		s.mean = maxF(s.mean/2, 2*s.mss)
+	}
+}

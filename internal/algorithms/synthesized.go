@@ -1,0 +1,70 @@
+package algorithms
+
+import (
+	"github.com/ccp-repro/ccp/internal/core"
+	"github.com/ccp-repro/ccp/internal/lang"
+)
+
+// SynthesizedAIMD answers §5's question — "could we synthesize the
+// congestion controller into the datapath from the high-level CCP
+// algorithm?" — for the AIMD family: the *entire* control law is compiled
+// into one control program + fold function and installed once. The
+// datapath then runs additive increase / multiplicative decrease
+// autonomously, one update per RTT, with the agent only supervising.
+// Off-datapath latency (IPC, scheduling) disappears from the control loop,
+// which is what makes this attractive at µs RTTs.
+//
+// The synthesized program (installed verbatim):
+//
+//	fold:  acked_s += pkt.acked ; lost_s += pkt.lost
+//	loop:  WaitRtts(1).
+//	       Cwnd(if(lost_s > 0, cwnd*β, if(acked_s > 0, cwnd + a*mss, cwnd))).
+//	       Report()
+type SynthesizedAIMD struct {
+	IncreaseSegs   float64
+	DecreaseFactor float64
+}
+
+// NewSynthesizedAIMD returns the in-datapath AIMD(a, b).
+func NewSynthesizedAIMD(a, b float64) *SynthesizedAIMD {
+	return &SynthesizedAIMD{IncreaseSegs: a, DecreaseFactor: b}
+}
+
+// Name implements core.Alg.
+func (s *SynthesizedAIMD) Name() string { return "aimd-dp" }
+
+// Init implements core.Alg: install the synthesized controller; after this
+// the agent is out of the loop.
+func (s *SynthesizedAIMD) Init(f *core.Flow) {
+	fold := &lang.FoldSpec{
+		Regs: []lang.RegDef{
+			{Name: "acked_s", Init: 0},
+			{Name: "lost_s", Init: 0},
+		},
+		Updates: []lang.Assign{
+			{Dst: "acked_s", E: lang.Add(lang.V("acked_s"), lang.V("pkt.acked"))},
+			{Dst: "lost_s", E: lang.Add(lang.V("lost_s"), lang.V("pkt.lost"))},
+		},
+	}
+	update := lang.Ite(lang.Gt(lang.V("lost_s"), lang.C(0)),
+		lang.Mul(lang.V("cwnd"), lang.C(s.DecreaseFactor)),
+		lang.Ite(lang.Gt(lang.V("acked_s"), lang.C(0)),
+			lang.Add(lang.V("cwnd"), lang.Mul(lang.C(s.IncreaseSegs), lang.V("mss"))),
+			lang.V("cwnd")))
+	prog := lang.NewProgram().
+		MeasureFold(fold).
+		WaitRtts(1).
+		Cwnd(update).
+		Report().
+		MustBuild()
+	f.Install(prog)
+}
+
+// OnMeasurement implements core.Alg: nothing to do — control runs in the
+// datapath; the reports are telemetry.
+func (s *SynthesizedAIMD) OnMeasurement(f *core.Flow, m core.Measurement) {}
+
+// OnUrgent implements core.Alg: the synthesized program already reacts to
+// loss through the fold (within one RTT); urgents need no extra action.
+// A timeout reinstalls, resetting any stale state.
+func (s *SynthesizedAIMD) OnUrgent(f *core.Flow, u core.UrgentEvent) {}

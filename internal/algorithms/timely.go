@@ -1,0 +1,98 @@
+package algorithms
+
+import (
+	"github.com/ccp-repro/ccp/internal/core"
+	"github.com/ccp-repro/ccp/internal/proto"
+)
+
+// Timely is CCP TIMELY: RTT-gradient rate control. The agent differentiates
+// consecutive smoothed-RTT reports and adjusts the pacing rate — additive
+// increase when the gradient is non-positive, multiplicative decrease
+// proportional to the gradient when RTTs are rising. Rate updates go to the
+// datapath as direct SetRate commands on the default per-RTT reporting
+// program (Table 1: measurement = RTT, control = Rate).
+type Timely struct {
+	mss      float64
+	rate     float64 // bytes/sec
+	prevRTT  float64 // seconds
+	minRTT   float64
+	gradient float64 // EWMA-filtered normalized gradient
+
+	// TIMELY parameters (scaled from the paper's datacenter defaults to
+	// the simulated WAN regime).
+	addStep  float64 // additive increment, bytes/sec
+	betaMul  float64 // multiplicative decrease factor
+	tLow     float64 // seconds; below this, always increase
+	tHigh    float64 // seconds; above this, always decrease
+	ewmaGain float64
+}
+
+// NewTimely returns a CCP TIMELY instance.
+func NewTimely() *Timely {
+	return &Timely{
+		betaMul:  0.8,
+		ewmaGain: 0.3,
+	}
+}
+
+// Name implements core.Alg.
+func (t *Timely) Name() string { return "timely" }
+
+// Init implements core.Alg.
+func (t *Timely) Init(f *core.Flow) {
+	t.mss = float64(f.Info.MSS)
+	t.rate = float64(f.Info.InitCwnd) * 10 // generous initial probe
+	t.addStep = 10 * t.mss
+	t.prevRTT = 0
+	t.minRTT = 0
+	f.SetRate(t.rate)
+}
+
+// OnMeasurement implements core.Alg: one gradient step per report.
+func (t *Timely) OnMeasurement(f *core.Flow, m core.Measurement) {
+	rtt := m.GetOr("rtt", 0)
+	if rtt <= 0 {
+		return
+	}
+	if t.minRTT == 0 || rtt < t.minRTT {
+		t.minRTT = rtt
+	}
+	if t.tLow == 0 {
+		// Derive thresholds from the observed floor: tLow = 1.2×minRTT,
+		// tHigh = 3×minRTT.
+		t.tLow = 1.2 * t.minRTT
+		t.tHigh = 3 * t.minRTT
+	}
+	if t.prevRTT == 0 {
+		t.prevRTT = rtt
+		return
+	}
+	grad := (rtt - t.prevRTT) / t.minRTT
+	t.prevRTT = rtt
+	t.gradient = (1-t.ewmaGain)*t.gradient + t.ewmaGain*grad
+
+	switch {
+	case rtt < t.tLow:
+		t.rate += t.addStep
+	case rtt > t.tHigh:
+		t.rate *= 1 - t.betaMul*(1-t.tHigh/rtt)
+	case t.gradient <= 0:
+		t.rate += t.addStep
+	default:
+		t.rate *= 1 - t.betaMul*minF(t.gradient, 0.25)
+	}
+	t.rate = maxF(t.rate, 2*t.mss)
+	f.SetRate(t.rate)
+}
+
+// OnUrgent implements core.Alg: TIMELY is delay-based; on loss it backs off
+// multiplicatively.
+func (t *Timely) OnUrgent(f *core.Flow, u core.UrgentEvent) {
+	switch u.Kind {
+	case proto.UrgentDupAck, proto.UrgentECN:
+		t.rate = maxF(t.rate*0.7, 2*t.mss)
+	case proto.UrgentTimeout:
+		t.rate = maxF(t.rate*0.5, 2*t.mss)
+	}
+	f.SetRate(t.rate)
+}

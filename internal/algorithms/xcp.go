@@ -1,0 +1,64 @@
+package algorithms
+
+import (
+	"github.com/ccp-repro/ccp/internal/core"
+	"github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/proto"
+)
+
+// XCP is an XCP-style explicit-rate scheme — Table 1's "packet header"
+// measurement row. Routers stamp each packet with the flow's allowed rate
+// (netsim links expose an OnDequeue hook for this; see netsim.FairStamper);
+// receivers echo it; and the datapath adopts it directly via a control
+// program whose Rate expression references the fold register holding the
+// latest header value. The rate therefore tracks router feedback entirely
+// inside the datapath, with the agent only supervising — exactly the
+// offload §2.1's control programs were designed for.
+type XCP struct {
+	mss float64
+}
+
+// NewXCP returns an XCP-style instance.
+func NewXCP() *XCP { return &XCP{} }
+
+// Name implements core.Alg.
+func (x *XCP) Name() string { return "xcp" }
+
+// Init implements core.Alg: install once; the datapath runs autonomously.
+func (x *XCP) Init(f *core.Flow) {
+	x.mss = float64(f.Info.MSS)
+	fold := &lang.FoldSpec{
+		Regs: []lang.RegDef{
+			{Name: "fb_rate", Init: 0}, // latest router-stamped rate
+			{Name: "acked_x", Init: 0},
+		},
+		Updates: []lang.Assign{
+			{Dst: "fb_rate", E: lang.Ite(lang.Gt(lang.V("pkt.hdr_rate"), lang.C(0)),
+				lang.V("pkt.hdr_rate"), lang.V("fb_rate"))},
+			{Dst: "acked_x", E: lang.Add(lang.V("acked_x"), lang.V("pkt.acked"))},
+		},
+	}
+	// Gather feedback for an RTT, adopt it, then report: the Rate
+	// instruction must precede Report, which resets the fold registers.
+	prog := lang.NewProgram().
+		MeasureFold(fold).
+		WaitRtts(1).
+		Rate(lang.Ite(lang.Gt(lang.V("fb_rate"), lang.C(0)),
+			lang.V("fb_rate"),
+			lang.Max(lang.V("rate"), lang.C(float64(2*f.Info.InitCwnd))))).
+		Report().
+		MustBuild()
+	f.Install(prog)
+}
+
+// OnMeasurement implements core.Alg: nothing to do — control is in the
+// datapath; the agent could log or audit here.
+func (x *XCP) OnMeasurement(f *core.Flow, m core.Measurement) {}
+
+// OnUrgent implements core.Alg: on timeout, reset to a conservative rate by
+// reinstalling (clearing stale feedback).
+func (x *XCP) OnUrgent(f *core.Flow, u core.UrgentEvent) {
+	if u.Kind == proto.UrgentTimeout {
+		x.Init(f)
+	}
+}

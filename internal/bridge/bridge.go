@@ -1,0 +1,115 @@
+// Package bridge wires CCP datapath runtimes to a CCP agent inside the
+// simulator, modelling the IPC channel of Figure 1 as a configurable
+// latency. Every message is marshalled to and from the wire format, so the
+// full protocol path is exercised even in simulation; only the transport's
+// latency is modelled rather than measured.
+package bridge
+
+import (
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/core"
+	"github.com/ccp-repro/ccp/internal/datapath"
+	"github.com/ccp-repro/ccp/internal/netsim"
+	"github.com/ccp-repro/ccp/internal/proto"
+)
+
+// Stats counts bridge traffic, for the CPU/message accounting experiments.
+type Stats struct {
+	ToAgentMsgs   int
+	ToAgentBytes  int64
+	ToDpMsgs      int
+	ToDpBytes     int64
+	MarshalErrors int
+}
+
+// Bridge connects one agent to any number of datapath runtimes over a
+// simulated IPC link with fixed one-way latency. A negative latency or a
+// stopped bridge drops messages (used to simulate agent death for the §5
+// fallback experiment).
+type Bridge struct {
+	sim     *netsim.Sim
+	agent   *core.Agent
+	latency time.Duration
+	stopped bool
+	stats   Stats
+}
+
+// New creates a bridge to agent with the given one-way IPC latency.
+func New(sim *netsim.Sim, agent *core.Agent, latency time.Duration) *Bridge {
+	return &Bridge{sim: sim, agent: agent, latency: latency}
+}
+
+// Stats returns a snapshot of the bridge counters.
+func (b *Bridge) Stats() Stats { return b.stats }
+
+// SetLatency changes the one-way IPC latency for subsequent messages.
+func (b *Bridge) SetLatency(d time.Duration) { b.latency = d }
+
+// Stop makes the bridge drop all traffic in both directions, simulating an
+// agent crash. Resume with Start.
+func (b *Bridge) Stop() { b.stopped = true }
+
+// Start re-enables a stopped bridge (the agent process restarted).
+func (b *Bridge) Start() { b.stopped = false }
+
+// Stopped reports whether the bridge is dropping traffic.
+func (b *Bridge) Stopped() bool { return b.stopped }
+
+// DatapathSender returns the ToAgent function for a datapath runtime whose
+// agent→datapath deliveries go to deliver (normally (*datapath.CCP).Deliver).
+func (b *Bridge) DatapathSender(deliver func(proto.Msg)) func(proto.Msg) error {
+	reply := func(m proto.Msg) error {
+		// Marshal on the agent side, unmarshal on the datapath side.
+		data, err := proto.Marshal(m)
+		if err != nil {
+			b.stats.MarshalErrors++
+			return err
+		}
+		if b.stopped {
+			return nil // silently lost, like a dead process's socket buffer
+		}
+		b.stats.ToDpMsgs++
+		b.stats.ToDpBytes += int64(len(data))
+		b.sim.Schedule(b.latency, func() {
+			msg, err := proto.Unmarshal(data)
+			if err != nil {
+				b.stats.MarshalErrors++
+				return
+			}
+			deliver(msg)
+		})
+		return nil
+	}
+	return func(m proto.Msg) error {
+		data, err := proto.Marshal(m)
+		if err != nil {
+			b.stats.MarshalErrors++
+			return err
+		}
+		if b.stopped {
+			return nil
+		}
+		b.stats.ToAgentMsgs++
+		b.stats.ToAgentBytes += int64(len(data))
+		b.sim.Schedule(b.latency, func() {
+			msg, err := proto.Unmarshal(data)
+			if err != nil {
+				b.stats.MarshalErrors++
+				return
+			}
+			b.agent.HandleMessage(msg, reply)
+		})
+		return nil
+	}
+}
+
+// Connect builds a datapath runtime for one flow, wired through the bridge.
+// It is the common setup path for simulation experiments.
+func (b *Bridge) Connect(cfg datapath.Config) *datapath.CCP {
+	cfg.Clock = b.sim
+	var dp *datapath.CCP
+	cfg.ToAgent = b.DatapathSender(func(m proto.Msg) { dp.Deliver(m) })
+	dp = datapath.New(cfg)
+	return dp
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/ccp-repro/ccp/internal/ipc"
+	"github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/proto"
+)
+
+// AgentConfig configures an Agent.
+type AgentConfig struct {
+	// Registry supplies algorithm factories. Required.
+	Registry *Registry
+	// DefaultAlg is used when a flow does not request an algorithm. It must
+	// be registered. Required.
+	DefaultAlg string
+	// Policy selects per-flow clamps; nil means no policy.
+	Policy PolicyFunc
+	// Logf, if set, receives diagnostic messages.
+	Logf func(format string, args ...any)
+}
+
+// AgentStats counts the agent's activity.
+type AgentStats struct {
+	FlowsCreated   int
+	FlowsClosed    int
+	Measurements   int
+	Vectors        int
+	Urgents        int
+	UnknownFlowMsg int
+	UnknownAlgReq  int
+	Errors         int
+}
+
+// Agent is the user-space congestion control plane: it multiplexes flows
+// from one or more datapaths onto per-flow algorithm instances and relays
+// their decisions back. Dispatch is a synchronous state transition, so the
+// agent runs identically on the simulator event loop (deterministic) and
+// behind a transport goroutine (ServeTransport).
+type Agent struct {
+	cfg AgentConfig
+
+	mu    sync.Mutex
+	flows map[uint32]*flowState
+	stats AgentStats
+}
+
+type flowState struct {
+	flow *Flow
+	alg  Alg
+}
+
+// NewAgent validates cfg and returns an agent.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("core: AgentConfig.Registry is required")
+	}
+	if _, ok := cfg.Registry.New(cfg.DefaultAlg); !ok {
+		return nil, fmt.Errorf("core: default algorithm %q not registered", cfg.DefaultAlg)
+	}
+	return &Agent{cfg: cfg, flows: make(map[uint32]*flowState)}, nil
+}
+
+// Stats returns a snapshot of the agent counters.
+func (a *Agent) Stats() AgentStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// FlowCount returns the number of live flows.
+func (a *Agent) FlowCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.flows)
+}
+
+// HandleMessage processes one datapath→agent message. reply transmits
+// agent→datapath messages for the flow's datapath (it is captured by the
+// flow created on Create, so each datapath keeps its own channel).
+func (a *Agent) HandleMessage(m proto.Msg, reply func(proto.Msg) error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch v := m.(type) {
+	case *proto.Create:
+		a.handleCreate(v, reply)
+	case *proto.Measurement:
+		st, ok := a.flows[v.SID]
+		if !ok {
+			a.stats.UnknownFlowMsg++
+			return
+		}
+		a.stats.Measurements++
+		st.flow.reports++
+		names := st.flow.reportNames()
+		meas := Measurement{Seq: v.Seq, Names: names, Values: v.Fields}
+		st.alg.OnMeasurement(st.flow, meas)
+	case *proto.Vector:
+		st, ok := a.flows[v.SID]
+		if !ok {
+			a.stats.UnknownFlowMsg++
+			return
+		}
+		a.stats.Vectors++
+		st.flow.reports++
+		fields := st.flow.vectorFields()
+		meas := Measurement{Seq: v.Seq, Names: st.flow.reportNames()}
+		if int(v.NumFields) == len(fields) {
+			for i := 0; i < v.Rows(); i++ {
+				meas.Samples = append(meas.Samples, PktSample{fields: fields, row: v.Row(i)})
+			}
+		}
+		st.alg.OnMeasurement(st.flow, meas)
+	case *proto.Urgent:
+		st, ok := a.flows[v.SID]
+		if !ok {
+			a.stats.UnknownFlowMsg++
+			return
+		}
+		a.stats.Urgents++
+		st.flow.urgents++
+		st.alg.OnUrgent(st.flow, UrgentEvent{Kind: v.Kind, Value: v.Value})
+	case *proto.Close:
+		st, ok := a.flows[v.SID]
+		if !ok {
+			a.stats.UnknownFlowMsg++
+			return
+		}
+		if r, ok := st.alg.(Releaser); ok {
+			r.Release(st.flow)
+		}
+		delete(a.flows, v.SID)
+		a.stats.FlowsClosed++
+	default:
+		a.stats.Errors++
+		a.logf("agent: unexpected message %T", m)
+	}
+}
+
+func (a *Agent) handleCreate(v *proto.Create, reply func(proto.Msg) error) {
+	name := v.Alg
+	if name == "" {
+		name = a.cfg.DefaultAlg
+	}
+	alg, ok := a.cfg.Registry.New(name)
+	if !ok {
+		a.stats.UnknownAlgReq++
+		a.logf("agent: flow %d requested unknown algorithm %q; using default %q",
+			v.SID, name, a.cfg.DefaultAlg)
+		alg, _ = a.cfg.Registry.New(a.cfg.DefaultAlg)
+	}
+	info := FlowInfo{
+		SID:      v.SID,
+		MSS:      int(v.MSS),
+		InitCwnd: int(v.InitCwnd),
+		SrcAddr:  v.SrcAddr,
+		DstAddr:  v.DstAddr,
+		Alg:      name,
+	}
+	var policy Policy
+	if a.cfg.Policy != nil {
+		policy = a.cfg.Policy(info)
+	}
+	flow := &Flow{Info: info, policy: policy, send: reply}
+	// Replacing an existing SID (datapath restart) releases the old state.
+	if old, exists := a.flows[v.SID]; exists {
+		if r, ok := old.alg.(Releaser); ok {
+			r.Release(old.flow)
+		}
+	}
+	a.flows[v.SID] = &flowState{flow: flow, alg: alg}
+	a.stats.FlowsCreated++
+	alg.Init(flow)
+}
+
+// ServeTransport reads wire messages from t until Recv fails, dispatching
+// each through HandleMessage with replies marshalled back onto t. It is the
+// agent's main loop when deployed as a separate process (Figure 1).
+func (a *Agent) ServeTransport(t ipc.Transport) error {
+	reply := func(m proto.Msg) error {
+		data, err := proto.Marshal(m)
+		if err != nil {
+			return err
+		}
+		return t.Send(data)
+	}
+	for {
+		data, err := t.Recv()
+		if err != nil {
+			return err
+		}
+		m, err := proto.Unmarshal(data)
+		if err != nil {
+			a.mu.Lock()
+			a.stats.Errors++
+			a.mu.Unlock()
+			a.logf("agent: bad message: %v", err)
+			continue
+		}
+		a.HandleMessage(m, reply)
+	}
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
+	}
+}
+
+// Describe returns a human-readable summary of an algorithm's capability
+// requirements by instantiating it against a probe flow; used by the
+// Table 1 experiment. The probe flow records the installed program without
+// any datapath attached.
+func Describe(factory AlgFactory, mss int) (progs []*lang.Program, direct []string) {
+	alg := factory()
+	var captured []*lang.Program
+	var directMsgs []string
+	probe := &Flow{
+		Info: FlowInfo{SID: 0, MSS: mss, InitCwnd: 10 * mss},
+		send: func(m proto.Msg) error {
+			switch v := m.(type) {
+			case *proto.Install:
+				if p, err := lang.UnmarshalProgram(v.Prog); err == nil {
+					captured = append(captured, p)
+				}
+			case *proto.SetCwnd:
+				directMsgs = append(directMsgs, "cwnd")
+			case *proto.SetRate:
+				directMsgs = append(directMsgs, "rate")
+			}
+			return nil
+		},
+	}
+	alg.Init(probe)
+	return captured, directMsgs
+}

@@ -1,0 +1,140 @@
+// Package core implements the paper's primary contribution: the congestion
+// control plane (CCP) agent and the user-space API congestion control
+// algorithms are written against (Table 3).
+//
+// An algorithm implements Alg — Init, OnMeasurement, OnUrgent — and modifies
+// sending behaviour by calling Install (or the SetCwnd/SetRate shorthands)
+// on its Flow handle. The agent glues algorithms to datapaths: it speaks the
+// proto wire protocol, instantiates one algorithm per flow (different flows
+// may run different algorithms, §2), and imposes operator policies on
+// algorithm decisions before they reach the datapath.
+package core
+
+import (
+	"fmt"
+
+	"github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/proto"
+)
+
+// Measurement is a batch of datapath measurements delivered to
+// OnMeasurement: named scalar fields (fold registers or the EWMA defaults)
+// and, in vector mode, per-packet samples.
+type Measurement struct {
+	// Seq is the per-flow report sequence number.
+	Seq uint32
+	// Names are the scalar field names, parallel to Values.
+	Names []string
+	// Values are the scalar field values.
+	Values []float64
+	// Samples holds per-packet rows in vector mode, nil otherwise.
+	Samples []PktSample
+}
+
+// Get returns the named scalar field.
+func (m *Measurement) Get(name string) (float64, bool) {
+	for i, n := range m.Names {
+		if n == name && i < len(m.Values) {
+			return m.Values[i], true
+		}
+	}
+	return 0, false
+}
+
+// GetOr returns the named scalar field or def if absent.
+func (m *Measurement) GetOr(name string, def float64) float64 {
+	if v, ok := m.Get(name); ok {
+		return v
+	}
+	return def
+}
+
+// PktSample is one packet's measurements in a vector report.
+type PktSample struct {
+	fields []lang.Field
+	row    []float64
+}
+
+// Get returns the sample's value for field f (0 if the field was not in the
+// installed vector specification).
+func (p PktSample) Get(f lang.Field) float64 {
+	for i, pf := range p.fields {
+		if pf == f && i < len(p.row) {
+			return p.row[i]
+		}
+	}
+	return 0
+}
+
+// UrgentEvent is an urgent datapath notification (§2.1): congestion signals
+// delivered immediately rather than on the batching schedule.
+type UrgentEvent struct {
+	// Kind is the event class: dupack (loss), timeout, or ecn.
+	Kind proto.UrgentKind
+	// Value is event-specific: bytes lost for dupack/timeout.
+	Value float64
+}
+
+// Alg is the CCP congestion control API (Table 3). One instance exists per
+// flow; the agent serializes all calls for a given flow.
+type Alg interface {
+	// Name identifies the algorithm (used for per-flow selection).
+	Name() string
+	// Init is called when the datapath announces a new flow. Typical
+	// implementations Install their measurement/control program here.
+	Init(f *Flow)
+	// OnMeasurement is called when a batched measurement report arrives.
+	OnMeasurement(f *Flow, m Measurement)
+	// OnUrgent is called when an urgent event arrives.
+	OnUrgent(f *Flow, u UrgentEvent)
+}
+
+// Releaser is an optional extension: algorithms that hold external
+// resources are released when their flow closes.
+type Releaser interface {
+	Release(f *Flow)
+}
+
+// AlgFactory constructs a fresh per-flow algorithm instance.
+type AlgFactory func() Alg
+
+// Registry maps algorithm names to factories. The same registry can back
+// multiple agents.
+type Registry struct {
+	factories map[string]AlgFactory
+	order     []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]AlgFactory)}
+}
+
+// Register adds a factory under name; registering a duplicate name panics
+// (it is a programming error, like registering duplicate HTTP routes).
+func (r *Registry) Register(name string, f AlgFactory) {
+	if name == "" || f == nil {
+		panic("core: Register requires a name and factory")
+	}
+	if _, dup := r.factories[name]; dup {
+		panic(fmt.Sprintf("core: algorithm %q registered twice", name))
+	}
+	r.factories[name] = f
+	r.order = append(r.order, name)
+}
+
+// New instantiates the named algorithm.
+func (r *Registry) New(name string) (Alg, bool) {
+	f, ok := r.factories[name]
+	if !ok {
+		return nil, false
+	}
+	return f(), true
+}
+
+// Names returns the registered algorithm names in registration order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}

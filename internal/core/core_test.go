@@ -1,0 +1,346 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/ccp-repro/ccp/internal/ipc"
+	"github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/proto"
+)
+
+// recordAlg records every callback for assertions.
+type recordAlg struct {
+	inits    int
+	measures []Measurement
+	urgents  []UrgentEvent
+	releases int
+	onInit   func(f *Flow)
+}
+
+func (r *recordAlg) Name() string { return "record" }
+func (r *recordAlg) Init(f *Flow) {
+	r.inits++
+	if r.onInit != nil {
+		r.onInit(f)
+	}
+}
+func (r *recordAlg) OnMeasurement(f *Flow, m Measurement) { r.measures = append(r.measures, m) }
+func (r *recordAlg) OnUrgent(f *Flow, u UrgentEvent)      { r.urgents = append(r.urgents, u) }
+func (r *recordAlg) Release(f *Flow)                      { r.releases++ }
+
+// capture collects agent→datapath messages.
+type capture struct {
+	msgs []proto.Msg
+}
+
+func (c *capture) send(m proto.Msg) error {
+	c.msgs = append(c.msgs, m)
+	return nil
+}
+
+func newTestAgent(t *testing.T, alg *recordAlg, policy PolicyFunc) *Agent {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Register("record", func() Alg { return alg })
+	a, err := NewAgent(AgentConfig{Registry: reg, DefaultAlg: "record", Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func createMsg(sid uint32) *proto.Create {
+	return &proto.Create{SID: sid, MSS: 1448, InitCwnd: 14480, SrcAddr: "a", DstAddr: "b"}
+}
+
+func TestAgentCreateDispatchesInit(t *testing.T) {
+	alg := &recordAlg{}
+	a := newTestAgent(t, alg, nil)
+	cap := &capture{}
+	a.HandleMessage(createMsg(1), cap.send)
+	if alg.inits != 1 {
+		t.Fatalf("inits=%d", alg.inits)
+	}
+	if a.FlowCount() != 1 || a.Stats().FlowsCreated != 1 {
+		t.Fatalf("flow accounting wrong: %+v", a.Stats())
+	}
+}
+
+func TestAgentMeasurementNaming(t *testing.T) {
+	alg := &recordAlg{}
+	a := newTestAgent(t, alg, nil)
+	cap := &capture{}
+	a.HandleMessage(createMsg(1), cap.send)
+	// Before any install, EWMA names apply.
+	a.HandleMessage(&proto.Measurement{SID: 1, Seq: 1, Fields: []float64{0.01, 2, 3, 4, 5, 0.5, 0.011}}, cap.send)
+	if len(alg.measures) != 1 {
+		t.Fatalf("measures=%d", len(alg.measures))
+	}
+	m := alg.measures[0]
+	if v, ok := m.Get("rtt"); !ok || v != 0.01 {
+		t.Fatalf("rtt=%v ok=%v", v, ok)
+	}
+	if v, ok := m.Get("ecn_frac"); !ok || v != 0.5 {
+		t.Fatalf("ecn_frac=%v ok=%v", v, ok)
+	}
+	if _, ok := m.Get("bogus"); ok {
+		t.Fatal("bogus field resolved")
+	}
+	if m.GetOr("bogus", 42) != 42 {
+		t.Fatal("GetOr default wrong")
+	}
+}
+
+func TestAgentFoldNamesAfterInstall(t *testing.T) {
+	alg := &recordAlg{}
+	alg.onInit = func(f *Flow) {
+		fold := &lang.FoldSpec{
+			Regs:    []lang.RegDef{{Name: "m1", Init: 0}, {Name: "m2", Init: 0}},
+			Updates: []lang.Assign{{Dst: "m1", E: lang.Add(lang.V("m1"), lang.V("pkt.acked"))}},
+		}
+		p := lang.NewProgram().MeasureFold(fold).WaitRtts(1).Report().MustBuild()
+		if err := f.Install(p); err != nil {
+			t.Errorf("install: %v", err)
+		}
+	}
+	a := newTestAgent(t, alg, nil)
+	cap := &capture{}
+	a.HandleMessage(createMsg(1), cap.send)
+	a.HandleMessage(&proto.Measurement{SID: 1, Seq: 1, Fields: []float64{7, 9}}, cap.send)
+	m := alg.measures[0]
+	if v, _ := m.Get("m1"); v != 7 {
+		t.Fatalf("m1=%v", v)
+	}
+	if v, _ := m.Get("m2"); v != 9 {
+		t.Fatalf("m2=%v", v)
+	}
+}
+
+func TestAgentVectorDispatch(t *testing.T) {
+	alg := &recordAlg{}
+	alg.onInit = func(f *Flow) {
+		p := lang.NewProgram().MeasureVector(lang.FieldRTT, lang.FieldAcked).
+			WaitRtts(1).Report().MustBuild()
+		f.Install(p)
+	}
+	a := newTestAgent(t, alg, nil)
+	cap := &capture{}
+	a.HandleMessage(createMsg(1), cap.send)
+	a.HandleMessage(&proto.Vector{SID: 1, Seq: 1, NumFields: 2,
+		Data: []float64{0.01, 1448, 0.02, 1448}}, cap.send)
+	m := alg.measures[0]
+	if len(m.Samples) != 2 {
+		t.Fatalf("samples=%d", len(m.Samples))
+	}
+	if m.Samples[1].Get(lang.FieldRTT) != 0.02 {
+		t.Fatalf("rtt=%v", m.Samples[1].Get(lang.FieldRTT))
+	}
+	if m.Samples[0].Get(lang.FieldAcked) != 1448 {
+		t.Fatalf("acked=%v", m.Samples[0].Get(lang.FieldAcked))
+	}
+	if m.Samples[0].Get(lang.FieldECN) != 0 {
+		t.Fatal("absent field should read 0")
+	}
+}
+
+func TestAgentUrgentDispatch(t *testing.T) {
+	alg := &recordAlg{}
+	a := newTestAgent(t, alg, nil)
+	cap := &capture{}
+	a.HandleMessage(createMsg(1), cap.send)
+	a.HandleMessage(&proto.Urgent{SID: 1, Kind: proto.UrgentDupAck, Value: 1448}, cap.send)
+	if len(alg.urgents) != 1 || alg.urgents[0].Kind != proto.UrgentDupAck || alg.urgents[0].Value != 1448 {
+		t.Fatalf("urgents=%+v", alg.urgents)
+	}
+}
+
+func TestAgentCloseReleases(t *testing.T) {
+	alg := &recordAlg{}
+	a := newTestAgent(t, alg, nil)
+	cap := &capture{}
+	a.HandleMessage(createMsg(1), cap.send)
+	a.HandleMessage(&proto.Close{SID: 1}, cap.send)
+	if alg.releases != 1 {
+		t.Fatalf("releases=%d", alg.releases)
+	}
+	if a.FlowCount() != 0 {
+		t.Fatal("flow not removed")
+	}
+	// Messages for closed flows are counted, not crashed on.
+	a.HandleMessage(&proto.Urgent{SID: 1, Kind: proto.UrgentECN}, cap.send)
+	if a.Stats().UnknownFlowMsg != 1 {
+		t.Fatalf("stats=%+v", a.Stats())
+	}
+}
+
+func TestAgentUnknownAlgFallsBack(t *testing.T) {
+	alg := &recordAlg{}
+	a := newTestAgent(t, alg, nil)
+	cap := &capture{}
+	msg := createMsg(1)
+	msg.Alg = "who-knows"
+	a.HandleMessage(msg, cap.send)
+	if alg.inits != 1 {
+		t.Fatal("default algorithm not used")
+	}
+	if a.Stats().UnknownAlgReq != 1 {
+		t.Fatalf("stats=%+v", a.Stats())
+	}
+}
+
+func TestAgentRequiresRegisteredDefault(t *testing.T) {
+	if _, err := NewAgent(AgentConfig{Registry: NewRegistry(), DefaultAlg: "ghost"}); err == nil {
+		t.Fatal("unregistered default accepted")
+	}
+	if _, err := NewAgent(AgentConfig{DefaultAlg: "x"}); err == nil {
+		t.Fatal("nil registry accepted")
+	}
+}
+
+func TestPolicyClampsDirectControls(t *testing.T) {
+	alg := &recordAlg{}
+	policy := func(info FlowInfo) Policy {
+		return Policy{MaxRateBps: 1000, MaxCwndBytes: 5000}
+	}
+	a := newTestAgent(t, alg, policy)
+	cap := &capture{}
+	alg.onInit = func(f *Flow) {
+		f.SetRate(99999)
+		f.SetCwnd(99999)
+	}
+	a.HandleMessage(createMsg(1), cap.send)
+	var rate *proto.SetRate
+	var cwnd *proto.SetCwnd
+	for _, m := range cap.msgs {
+		switch v := m.(type) {
+		case *proto.SetRate:
+			rate = v
+		case *proto.SetCwnd:
+			cwnd = v
+		}
+	}
+	if rate == nil || rate.Bps != 1000 {
+		t.Fatalf("rate=%+v", rate)
+	}
+	if cwnd == nil || cwnd.Bytes != 5000 {
+		t.Fatalf("cwnd=%+v", cwnd)
+	}
+}
+
+func TestPolicyRewritesPrograms(t *testing.T) {
+	alg := &recordAlg{}
+	policy := func(info FlowInfo) Policy { return Policy{MaxRateBps: 1e6} }
+	a := newTestAgent(t, alg, policy)
+	cap := &capture{}
+	alg.onInit = func(f *Flow) {
+		p := lang.NewProgram().Rate(lang.Mul(lang.C(2), lang.V("rate"))).
+			WaitRtts(1).Report().MustBuild()
+		if err := f.Install(p); err != nil {
+			t.Errorf("install: %v", err)
+		}
+	}
+	a.HandleMessage(createMsg(1), cap.send)
+	var inst *proto.Install
+	for _, m := range cap.msgs {
+		if v, ok := m.(*proto.Install); ok {
+			inst = v
+		}
+	}
+	if inst == nil {
+		t.Fatal("no install sent")
+	}
+	p, err := lang.UnmarshalProgram(inst.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := p.Instrs[0].(lang.SetRate)
+	// The rewritten expression must clamp: with rate=1e9, result is 1e6.
+	got, err := lang.Eval(sr.E, func(n string) (float64, bool) {
+		if n == "rate" {
+			return 1e9, true
+		}
+		return 0, false
+	})
+	if err != nil || got != 1e6 {
+		t.Fatalf("clamped rate=%v err=%v", got, err)
+	}
+}
+
+func TestServeTransport(t *testing.T) {
+	alg := &recordAlg{}
+	alg.onInit = func(f *Flow) { f.SetCwnd(1000) }
+	a := newTestAgent(t, alg, nil)
+	agentSide, dpSide := ipc.ChanPair(16)
+	done := make(chan error, 1)
+	go func() { done <- a.ServeTransport(agentSide) }()
+
+	data, err := proto.Marshal(createMsg(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dpSide.Send(data); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := dpSide.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := proto.Unmarshal(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc, ok := m.(*proto.SetCwnd); !ok || sc.Bytes != 1000 || sc.SID != 9 {
+		t.Fatalf("reply=%#v", m)
+	}
+	// Malformed frames are skipped, not fatal.
+	if err := dpSide.Send([]byte{0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	dpSide.Close()
+	if err := <-done; err == nil {
+		t.Fatal("ServeTransport should return an error when the peer closes")
+	}
+	if a.Stats().Errors == 0 {
+		t.Fatal("bad frame not counted")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate registration")
+		}
+	}()
+	reg := NewRegistry()
+	reg.Register("x", func() Alg { return &recordAlg{} })
+	reg.Register("x", func() Alg { return &recordAlg{} })
+}
+
+func TestRegistryNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("b", func() Alg { return &recordAlg{} })
+	reg.Register("a", func() Alg { return &recordAlg{} })
+	names := reg.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Fatalf("names=%v (want registration order)", names)
+	}
+}
+
+func TestDescribeCapturesPrograms(t *testing.T) {
+	factory := func() Alg {
+		a := &recordAlg{}
+		a.onInit = func(f *Flow) {
+			p := lang.NewProgram().Rate(lang.C(100)).WaitRtts(1).Report().MustBuild()
+			f.Install(p)
+			f.SetCwnd(5000)
+		}
+		return a
+	}
+	progs, direct := Describe(factory, 1448)
+	if len(progs) != 1 {
+		t.Fatalf("progs=%d", len(progs))
+	}
+	if len(direct) != 1 || direct[0] != "cwnd" {
+		t.Fatalf("direct=%v", direct)
+	}
+}

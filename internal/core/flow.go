@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/proto"
+)
+
+// FlowInfo describes a flow as announced by its datapath.
+type FlowInfo struct {
+	SID      uint32
+	MSS      int
+	InitCwnd int // bytes
+	SrcAddr  string
+	DstAddr  string
+	// Alg is the algorithm the datapath requested (may be empty).
+	Alg string
+}
+
+// Policy is the agent-imposed clamp on a flow's decisions (§2: "the agent
+// ... imposes policies on the decisions of the congestion control
+// algorithms, e.g., per-connection maximum transmission rates").
+type Policy struct {
+	// MaxRateBps caps the pacing rate in bytes/sec (0 = unlimited).
+	MaxRateBps float64
+	// MaxCwndBytes caps the congestion window (0 = unlimited).
+	MaxCwndBytes int
+}
+
+// PolicyFunc selects the policy for a new flow.
+type PolicyFunc func(info FlowInfo) Policy
+
+// Flow is the algorithm's handle on one datapath flow: it carries flow
+// metadata and the Install/SetCwnd/SetRate channel back to the datapath,
+// with the agent's policy applied.
+type Flow struct {
+	Info   FlowInfo
+	policy Policy
+	send   func(proto.Msg) error
+
+	installed *lang.Program
+	created   time.Duration
+
+	// Stats observed by the agent for this flow.
+	reports int
+	urgents int
+}
+
+// Install sends a control program to the datapath, first rewriting it under
+// the flow's policy: every Rate expression is clamped with min(e, maxRate)
+// and every Cwnd expression with min(e, maxCwnd). Expression rewriting means
+// the policy holds even between agent decisions, inside the datapath.
+func (f *Flow) Install(p *lang.Program) error {
+	if p == nil {
+		return fmt.Errorf("core: nil program")
+	}
+	clamped := f.applyPolicy(p)
+	if err := clamped.Validate(); err != nil {
+		return err
+	}
+	data, err := lang.MarshalProgram(clamped)
+	if err != nil {
+		return err
+	}
+	if err := f.send(&proto.Install{SID: f.Info.SID, Prog: data}); err != nil {
+		return err
+	}
+	f.installed = clamped
+	return nil
+}
+
+// SetCwnd directly sets the congestion window (bytes), clamped by policy.
+// It is the degenerate control path for datapaths without program support.
+func (f *Flow) SetCwnd(bytes int) error {
+	if f.policy.MaxCwndBytes > 0 && bytes > f.policy.MaxCwndBytes {
+		bytes = f.policy.MaxCwndBytes
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	return f.send(&proto.SetCwnd{SID: f.Info.SID, Bytes: uint32(bytes)})
+}
+
+// SetRate directly sets the pacing rate (bytes/sec), clamped by policy.
+func (f *Flow) SetRate(bps float64) error {
+	if f.policy.MaxRateBps > 0 && bps > f.policy.MaxRateBps {
+		bps = f.policy.MaxRateBps
+	}
+	if bps < 0 {
+		bps = 0
+	}
+	return f.send(&proto.SetRate{SID: f.Info.SID, Bps: bps})
+}
+
+// Installed returns the most recently installed (policy-rewritten) program,
+// or nil before the first Install.
+func (f *Flow) Installed() *lang.Program { return f.installed }
+
+// Policy returns the agent policy governing this flow.
+func (f *Flow) Policy() Policy { return f.policy }
+
+// applyPolicy rewrites p's control expressions under the flow policy.
+func (f *Flow) applyPolicy(p *lang.Program) *lang.Program {
+	if f.policy.MaxRateBps <= 0 && f.policy.MaxCwndBytes <= 0 {
+		return p
+	}
+	out := *p
+	out.Instrs = make([]lang.Instr, len(p.Instrs))
+	for i, in := range p.Instrs {
+		switch n := in.(type) {
+		case lang.SetRate:
+			if f.policy.MaxRateBps > 0 {
+				out.Instrs[i] = lang.SetRate{E: lang.Min(n.E, lang.C(f.policy.MaxRateBps))}
+			} else {
+				out.Instrs[i] = n
+			}
+		case lang.SetCwnd:
+			if f.policy.MaxCwndBytes > 0 {
+				out.Instrs[i] = lang.SetCwnd{E: lang.Min(n.E, lang.C(float64(f.policy.MaxCwndBytes)))}
+			} else {
+				out.Instrs[i] = n
+			}
+		default:
+			out.Instrs[i] = in
+		}
+	}
+	return &out
+}
+
+// reportNames returns the field names for incoming scalar measurements,
+// based on the installed program (EWMA defaults before any install).
+func (f *Flow) reportNames() []string {
+	if f.installed == nil {
+		return lang.EWMAReportNames()
+	}
+	return f.installed.RegNames()
+}
+
+// vectorFields returns the per-packet fields for vector measurements.
+func (f *Flow) vectorFields() []lang.Field {
+	if f.installed == nil {
+		return nil
+	}
+	return f.installed.Measure.Fields
+}

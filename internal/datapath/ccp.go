@@ -1,0 +1,646 @@
+// Package datapath implements the CCP modification to the datapath (§2):
+// the runtime that a CCP-conformant datapath embeds. It plugs into the
+// transport as a tcp.CongestionControl, but instead of making congestion
+// control decisions locally it:
+//
+//   - executes the control program installed by the user-space agent
+//     (Rate/Cwnd/Wait/WaitRtts/Report phase machine),
+//   - summarizes per-ACK measurements with a fold function, a per-packet
+//     vector, or the §3 prototype's EWMA filters,
+//   - reports batched measurements at the program's Report points and
+//     urgent events (loss, timeouts, optionally ECN) immediately, and
+//   - enforces the window/rate decisions that arrive asynchronously.
+//
+// It also implements the §5 safety fallback: if the agent goes silent, the
+// datapath reverts to a built-in NewReno until the agent returns.
+package datapath
+
+import (
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/nativecc"
+	"github.com/ccp-repro/ccp/internal/netsim"
+	"github.com/ccp-repro/ccp/internal/proto"
+	"github.com/ccp-repro/ccp/internal/stats"
+	"github.com/ccp-repro/ccp/internal/tcp"
+)
+
+// Config configures one flow's CCP datapath runtime.
+type Config struct {
+	// SID identifies the flow on the wire protocol.
+	SID uint32
+	// Alg optionally names the algorithm the agent should run for this flow.
+	Alg string
+	// Clock provides time and timers (the simulator in experiments, a
+	// RealClock over real transports).
+	Clock netsim.Clock
+	// ToAgent transmits a message to the agent. In simulation it schedules
+	// a delayed delivery; over a real transport it marshals and sends.
+	ToAgent func(proto.Msg) error
+	// FallbackAfter reverts to in-datapath NewReno when no agent message
+	// has arrived for this long (0 disables the watchdog).
+	FallbackAfter time.Duration
+	// MaxVectorRows caps vector-mode batching memory (default 8192 rows);
+	// beyond it, samples are dropped and counted.
+	MaxVectorRows int
+	// DefaultProgram runs before the agent installs anything. Nil means the
+	// §3 prototype behaviour: EWMA measurement reported once per RTT.
+	DefaultProgram *lang.Program
+	// SmoothCwnd spreads window *increases* over a round trip instead of
+	// applying them as a step — the paper's §3 future work ("smooth
+	// congestion window transitions in the datapath to avoid packet bursts
+	// due to per-RTT congestion window updates"). Decreases still apply
+	// immediately.
+	SmoothCwnd bool
+}
+
+// Stats counts the runtime's activity for experiments and tests.
+type Stats struct {
+	AcksProcessed  int
+	ReportsSent    int
+	VectorsSent    int
+	VectorRowsSent int
+	UrgentsSent    int
+	SendErrors     int
+	InstallsRecvd  int
+	SetCwndRecvd   int
+	SetRateRecvd   int
+	FallbackOn     int
+	FallbackOff    int
+	VectorDropped  int
+}
+
+// CCP is the datapath runtime for one flow. It implements
+// tcp.CongestionControl and is driven by the datapath's ACK processing on
+// one side and by Deliver (messages from the agent) on the other.
+type CCP struct {
+	cfg  Config
+	conn *tcp.Conn
+
+	prog      *lang.Program
+	fold      *lang.CompiledFold
+	ctrl      []*lang.Code // compiled expression per instruction (nil for Report)
+	vars      []float64
+	exprStack []float64
+
+	vec       []float64
+	vecFields []lang.Field
+
+	pc         int
+	waitedPass bool
+	waitTimer  netsim.Timer
+	reportSeq  uint32
+
+	// EWMA-mode state (§3 prototype).
+	ewmaRtt  *stats.EWMA
+	ewmaSnd  *stats.EWMA
+	ewmaRcv  *stats.EWMA
+	ackedAcc float64
+	lostAcc  float64
+	pktsAcc  int
+	ecnAcc   int
+	lastRtt  float64
+
+	// Safety fallback (§5).
+	fallback       tcp.CongestionControl
+	fallbackActive bool
+	lastAgentMsg   time.Duration
+	watchdog       netsim.Timer
+
+	// Smooth window transitions (§3 future work).
+	cwndTarget  int
+	cwndStep    int
+	smoothTimer netsim.Timer
+
+	stats Stats
+}
+
+// New creates a CCP runtime. Attach it to a tcp.Conn as its congestion
+// control; it announces itself to the agent on Init.
+func New(cfg Config) *CCP {
+	if cfg.MaxVectorRows <= 0 {
+		cfg.MaxVectorRows = 8192
+	}
+	if cfg.Clock == nil {
+		panic("datapath: Config.Clock is required")
+	}
+	if cfg.ToAgent == nil {
+		panic("datapath: Config.ToAgent is required")
+	}
+	return &CCP{
+		cfg:      cfg,
+		fallback: nativecc.NewNewReno(),
+		ewmaRtt:  stats.NewEWMA(0.125),
+		ewmaSnd:  stats.NewEWMA(0.25),
+		ewmaRcv:  stats.NewEWMA(0.25),
+	}
+}
+
+// Stats returns a snapshot of the runtime counters.
+func (d *CCP) Stats() Stats { return d.stats }
+
+// FallbackActive reports whether the safety fallback is controlling the flow.
+func (d *CCP) FallbackActive() bool { return d.fallbackActive }
+
+// Program returns the currently installed program (the default one before
+// any Install).
+func (d *CCP) Program() *lang.Program { return d.prog }
+
+// Name implements tcp.CongestionControl.
+func (d *CCP) Name() string {
+	if d.cfg.Alg != "" {
+		return "ccp/" + d.cfg.Alg
+	}
+	return "ccp"
+}
+
+// Init implements tcp.CongestionControl: announce the flow and start the
+// default program.
+func (d *CCP) Init(c *tcp.Conn) {
+	d.conn = c
+	d.lastAgentMsg = d.cfg.Clock.Now()
+	d.send(&proto.Create{
+		SID:      d.cfg.SID,
+		MSS:      uint32(c.MSS()),
+		InitCwnd: uint32(c.Cwnd()),
+		Alg:      d.cfg.Alg,
+	})
+	prog := d.cfg.DefaultProgram
+	if prog == nil {
+		prog = lang.NewProgram().MeasureEWMA().WaitRtts(1).Report().MustBuild()
+	}
+	if err := d.install(prog); err != nil {
+		// The default program is statically valid; a failure here is a bug.
+		panic("datapath: default program rejected: " + err.Error())
+	}
+	d.armWatchdog()
+}
+
+// Close implements tcp.CongestionControl.
+func (d *CCP) Close(c *tcp.Conn) {
+	d.send(&proto.Close{SID: d.cfg.SID})
+	if d.waitTimer != nil {
+		d.waitTimer.Stop()
+		d.waitTimer = nil
+	}
+	if d.watchdog != nil {
+		d.watchdog.Stop()
+		d.watchdog = nil
+	}
+	if d.smoothTimer != nil {
+		d.smoothTimer.Stop()
+		d.smoothTimer = nil
+	}
+}
+
+// OnAck implements tcp.CongestionControl: fold the ACK into the current
+// measurement state.
+func (d *CCP) OnAck(c *tcp.Conn, s tcp.AckSample) {
+	d.stats.AcksProcessed++
+	d.updateVars(s)
+
+	if d.fallbackActive {
+		d.fallback.OnAck(c, s)
+	}
+
+	switch d.measureMode() {
+	case lang.MeasureFold:
+		d.fold.Step(d.vars)
+	case lang.MeasureVector:
+		if len(d.vec)/len(d.vecFields) < d.cfg.MaxVectorRows {
+			for _, f := range d.vecFields {
+				d.vec = append(d.vec, d.vars[lang.PktFieldSlot(f)])
+			}
+		} else {
+			d.stats.VectorDropped++
+		}
+	default: // EWMA
+		if s.RTT > 0 {
+			d.ewmaRtt.Update(s.RTT.Seconds())
+			d.lastRtt = s.RTT.Seconds()
+		}
+		if s.SndRate > 0 {
+			d.ewmaSnd.Update(s.SndRate)
+		}
+		if s.DeliveryRate > 0 {
+			d.ewmaRcv.Update(s.DeliveryRate)
+		}
+		d.ackedAcc += float64(s.AckedBytes)
+		d.lostAcc += float64(s.LostBytes)
+		d.pktsAcc++
+		if s.ECNEcho {
+			d.ecnAcc++
+		}
+	}
+}
+
+// OnCongestion implements tcp.CongestionControl: report urgent events.
+func (d *CCP) OnCongestion(c *tcp.Conn, ev tcp.CongEvent, lostBytes int) {
+	if d.fallbackActive {
+		d.fallback.OnCongestion(c, ev, lostBytes)
+	}
+	switch ev {
+	case tcp.EventDupAck:
+		d.sendUrgent(proto.UrgentDupAck, float64(lostBytes))
+	case tcp.EventTimeout:
+		d.sendUrgent(proto.UrgentTimeout, float64(lostBytes))
+	case tcp.EventECN:
+		if d.prog != nil && d.prog.UrgentECN {
+			d.sendUrgent(proto.UrgentECN, 1)
+		}
+		// Otherwise ECN is batched via the measurement state.
+	}
+}
+
+// Deliver processes a message from the agent (the datapath side of
+// Figure 1's downward arrow).
+func (d *CCP) Deliver(m proto.Msg) {
+	d.touchAgent()
+	switch v := m.(type) {
+	case *proto.Install:
+		prog, err := lang.UnmarshalProgram(v.Prog)
+		if err != nil {
+			// A malformed program must not crash the datapath (§5); the
+			// previous program stays in force.
+			return
+		}
+		if err := d.install(prog); err != nil {
+			return
+		}
+		d.stats.InstallsRecvd++
+	case *proto.SetCwnd:
+		d.stats.SetCwndRecvd++
+		d.applyCwnd(int(v.Bytes))
+	case *proto.SetRate:
+		d.stats.SetRateRecvd++
+		if d.conn != nil {
+			d.conn.SetPacingRate(v.Bps)
+		}
+	}
+}
+
+// install compiles and activates a program.
+func (d *CCP) install(p *lang.Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	var fold *lang.CompiledFold
+	var regNames []string
+	if p.Measure.Mode == lang.MeasureFold {
+		var err error
+		fold, err = lang.CompileFold(p.Measure.Fold)
+		if err != nil {
+			return err
+		}
+		regNames = p.Measure.Fold.RegNames()
+	}
+	resolve := lang.StdResolver(regNames)
+	ctrl := make([]*lang.Code, len(p.Instrs))
+	maxStack := 0
+	for i, in := range p.Instrs {
+		var e lang.Expr
+		switch n := in.(type) {
+		case lang.SetRate:
+			e = n.E
+		case lang.SetCwnd:
+			e = n.E
+		case lang.Wait:
+			e = n.Seconds
+		case lang.WaitRtts:
+			e = n.Rtts
+		case lang.Report:
+			continue
+		}
+		code, err := lang.Compile(e, resolve)
+		if err != nil {
+			return err
+		}
+		if code.MaxStack > maxStack {
+			maxStack = code.MaxStack
+		}
+		ctrl[i] = code
+	}
+
+	// Activation point: no errors possible below.
+	d.prog = p
+	d.fold = fold
+	d.ctrl = ctrl
+	if cap(d.exprStack) < maxStack {
+		d.exprStack = make([]float64, 0, maxStack)
+	}
+	nregs := 0
+	if fold != nil {
+		nregs = fold.NumRegs()
+	}
+	d.vars = make([]float64, lang.VarTableSize(nregs))
+	if fold != nil {
+		fold.InitRegs(d.vars)
+	}
+	d.vecFields = p.Measure.Fields
+	d.vec = d.vec[:0]
+	d.pc = 0
+	d.waitedPass = false
+	if d.waitTimer != nil {
+		d.waitTimer.Stop()
+		d.waitTimer = nil
+	}
+	d.refreshFlowVars()
+	d.resume()
+	return nil
+}
+
+func (d *CCP) measureMode() lang.MeasureMode {
+	if d.prog == nil {
+		return lang.MeasureEWMA
+	}
+	return d.prog.Measure.Mode
+}
+
+// updateVars refreshes the packet-field and flow-variable slots from an ACK.
+func (d *CCP) updateVars(s tcp.AckSample) {
+	if len(d.vars) == 0 {
+		return
+	}
+	rtt := s.RTT.Seconds()
+	if rtt == 0 && d.conn != nil {
+		rtt = d.conn.SRTT().Seconds() // retransmission echo: use the filter
+	}
+	d.vars[lang.PktFieldSlot(lang.FieldRTT)] = rtt
+	d.vars[lang.PktFieldSlot(lang.FieldAcked)] = float64(s.AckedBytes)
+	d.vars[lang.PktFieldSlot(lang.FieldSacked)] = float64(s.SackedBytes)
+	d.vars[lang.PktFieldSlot(lang.FieldLost)] = float64(s.LostBytes)
+	d.vars[lang.PktFieldSlot(lang.FieldECN)] = b2f(s.ECNEcho)
+	d.vars[lang.PktFieldSlot(lang.FieldSndRate)] = s.SndRate
+	d.vars[lang.PktFieldSlot(lang.FieldRcvRate)] = s.DeliveryRate
+	d.vars[lang.PktFieldSlot(lang.FieldInflight)] = float64(s.InFlight)
+	d.vars[lang.PktFieldSlot(lang.FieldHdrRate)] = s.HdrRate
+	d.vars[lang.PktFieldSlot(lang.FieldNow)] = s.Now.Seconds()
+	d.refreshFlowVars()
+}
+
+func (d *CCP) refreshFlowVars() {
+	if d.conn == nil || len(d.vars) == 0 {
+		return
+	}
+	d.vars[lang.FlowVarSlot(lang.FlowCwnd)] = float64(d.conn.Cwnd())
+	d.vars[lang.FlowVarSlot(lang.FlowRate)] = d.conn.PacingRate()
+	d.vars[lang.FlowVarSlot(lang.FlowMSS)] = float64(d.conn.MSS())
+	d.vars[lang.FlowVarSlot(lang.FlowSRTT)] = d.conn.SRTT().Seconds()
+	d.vars[lang.FlowVarSlot(lang.FlowMinRTT)] = d.conn.MinRTT().Seconds()
+}
+
+// resume executes the control program until it blocks on a wait.
+func (d *CCP) resume() {
+	if d.prog == nil || len(d.prog.Instrs) == 0 {
+		return
+	}
+	for steps := 0; steps < 10000; steps++ {
+		if d.pc >= len(d.prog.Instrs) {
+			d.pc = 0
+			if !d.waitedPass {
+				// A program without waits would spin; pace it at one RTT,
+				// the control loop's natural time scale (§2.3).
+				d.scheduleWait(d.rttDur(1))
+				return
+			}
+			d.waitedPass = false
+		}
+		in := d.prog.Instrs[d.pc]
+		code := d.ctrl[d.pc]
+		d.pc++
+		switch in.(type) {
+		case lang.SetRate:
+			d.refreshFlowVars()
+			rate := code.Eval(d.vars, d.exprStack)
+			if !d.fallbackActive && d.conn != nil {
+				d.conn.SetPacingRate(clampRate(rate))
+				d.refreshFlowVars()
+			}
+		case lang.SetCwnd:
+			d.refreshFlowVars()
+			cwnd := code.Eval(d.vars, d.exprStack)
+			if !d.fallbackActive {
+				d.applyCwnd(clampCwnd(cwnd))
+				d.refreshFlowVars()
+			}
+		case lang.Wait:
+			secs := code.Eval(d.vars, d.exprStack)
+			d.waitedPass = true
+			d.scheduleWait(secsToDur(secs))
+			return
+		case lang.WaitRtts:
+			rtts := code.Eval(d.vars, d.exprStack)
+			d.waitedPass = true
+			d.scheduleWait(d.rttDur(rtts))
+			return
+		case lang.Report:
+			d.report()
+		}
+	}
+}
+
+func (d *CCP) scheduleWait(dur time.Duration) {
+	if dur <= 0 {
+		dur = time.Microsecond
+	}
+	if d.waitTimer != nil {
+		d.waitTimer.Stop()
+	}
+	d.waitTimer = d.cfg.Clock.AfterFunc(dur, func() {
+		d.waitTimer = nil
+		d.resume()
+	})
+}
+
+// rttDur converts a WaitRtts coefficient to a duration using the smoothed
+// RTT, with a conservative default before the first sample.
+func (d *CCP) rttDur(rtts float64) time.Duration {
+	srtt := time.Duration(0)
+	if d.conn != nil {
+		srtt = d.conn.SRTT()
+	}
+	if srtt == 0 {
+		srtt = 100 * time.Millisecond
+	}
+	return time.Duration(float64(srtt) * rtts)
+}
+
+// report ships the batched measurement state to the agent and resets it.
+func (d *CCP) report() {
+	d.reportSeq++
+	switch d.measureMode() {
+	case lang.MeasureFold:
+		fields := d.fold.ReadRegs(d.vars, make([]float64, 0, d.fold.NumRegs()))
+		d.send(&proto.Measurement{SID: d.cfg.SID, Seq: d.reportSeq, Fields: fields})
+		d.stats.ReportsSent++
+		d.fold.InitRegs(d.vars)
+	case lang.MeasureVector:
+		if len(d.vecFields) == 0 {
+			return
+		}
+		data := make([]float64, len(d.vec))
+		copy(data, d.vec)
+		d.vec = d.vec[:0]
+		d.send(&proto.Vector{
+			SID:       d.cfg.SID,
+			Seq:       d.reportSeq,
+			NumFields: uint8(len(d.vecFields)),
+			Data:      data,
+		})
+		d.stats.VectorsSent++
+		d.stats.VectorRowsSent += len(data) / len(d.vecFields)
+	default: // EWMA (§3 prototype report)
+		ecnFrac := 0.0
+		if d.pktsAcc > 0 {
+			ecnFrac = float64(d.ecnAcc) / float64(d.pktsAcc)
+		}
+		fields := []float64{
+			d.ewmaRtt.Value(),
+			d.ewmaSnd.Value(),
+			d.ewmaRcv.Value(),
+			d.ackedAcc,
+			d.lostAcc,
+			ecnFrac,
+			d.lastRtt,
+		}
+		d.send(&proto.Measurement{SID: d.cfg.SID, Seq: d.reportSeq, Fields: fields})
+		d.stats.ReportsSent++
+		d.ackedAcc, d.lostAcc = 0, 0
+		d.pktsAcc, d.ecnAcc = 0, 0
+	}
+}
+
+func (d *CCP) sendUrgent(kind proto.UrgentKind, value float64) {
+	d.stats.UrgentsSent++
+	d.send(&proto.Urgent{SID: d.cfg.SID, Kind: kind, Value: value})
+}
+
+func (d *CCP) send(m proto.Msg) {
+	if err := d.cfg.ToAgent(m); err != nil {
+		d.stats.SendErrors++
+	}
+}
+
+// applyCwnd routes a window update through the smoothing ramp when enabled:
+// increases are applied in steps over roughly one RTT so a per-RTT window
+// jump does not dump a burst into the network (§3 future work); decreases
+// and the non-smoothed path apply directly.
+func (d *CCP) applyCwnd(target int) {
+	if d.conn == nil {
+		return
+	}
+	if !d.cfg.SmoothCwnd || target <= d.conn.Cwnd() {
+		d.cwndTarget = 0
+		d.conn.SetCwnd(target)
+		return
+	}
+	d.cwndTarget = target
+	d.cwndStep = (target - d.conn.Cwnd() + 3) / 4
+	if d.cwndStep < d.conn.MSS() {
+		d.cwndStep = d.conn.MSS()
+	}
+	if d.smoothTimer == nil {
+		d.smoothStep()
+	}
+}
+
+// smoothStep advances a quarter of the original increase every srtt/4, so
+// the ramp completes in roughly one round trip.
+func (d *CCP) smoothStep() {
+	d.smoothTimer = nil
+	if d.conn == nil || d.cwndTarget == 0 {
+		return
+	}
+	cur := d.conn.Cwnd()
+	if cur >= d.cwndTarget {
+		d.cwndTarget = 0
+		return
+	}
+	next := cur + d.cwndStep
+	if next >= d.cwndTarget {
+		next = d.cwndTarget
+	}
+	d.conn.SetCwnd(next)
+	if next < d.cwndTarget {
+		d.smoothTimer = d.cfg.Clock.AfterFunc(d.rttDur(0.25), d.smoothStep)
+	} else {
+		d.cwndTarget = 0
+	}
+}
+
+// Safety fallback (§5).
+
+func (d *CCP) touchAgent() {
+	d.lastAgentMsg = d.cfg.Clock.Now()
+	if d.fallbackActive {
+		d.fallbackActive = false
+		d.stats.FallbackOff++
+		// Resume the installed program from the top.
+		d.pc = 0
+		d.waitedPass = false
+		d.resume()
+	}
+}
+
+func (d *CCP) armWatchdog() {
+	if d.cfg.FallbackAfter <= 0 {
+		return
+	}
+	interval := d.cfg.FallbackAfter / 4
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	d.watchdog = d.cfg.Clock.AfterFunc(interval, func() {
+		now := d.cfg.Clock.Now()
+		if !d.fallbackActive && now-d.lastAgentMsg > d.cfg.FallbackAfter {
+			d.fallbackActive = true
+			d.stats.FallbackOn++
+			if d.waitTimer != nil {
+				d.waitTimer.Stop()
+				d.waitTimer = nil
+			}
+			if d.conn != nil {
+				d.fallback.Init(d.conn)
+			}
+		}
+		d.armWatchdog()
+	})
+}
+
+func clampRate(bps float64) float64 {
+	if bps < 0 {
+		return 0
+	}
+	if bps > 1e12 {
+		return 1e12
+	}
+	return bps
+}
+
+func clampCwnd(bytes float64) int {
+	if bytes < 0 {
+		return 0 // tcp floors at one MSS
+	}
+	if bytes > 1<<30 {
+		return 1 << 30
+	}
+	return int(bytes)
+}
+
+func secsToDur(s float64) time.Duration {
+	if s <= 0 {
+		return 0
+	}
+	if s > 3600 {
+		s = 3600
+	}
+	return time.Duration(s * float64(time.Second))
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

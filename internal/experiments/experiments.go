@@ -1,0 +1,127 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation (§3), plus the ablations DESIGN.md calls out. Each experiment
+// is a pure function from a config to a result struct with a String()
+// rendering, so the same code backs `cmd/ccp-sim`, the test suite, and the
+// root benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/harness"
+	"github.com/ccp-repro/ccp/internal/netsim"
+	"github.com/ccp-repro/ccp/internal/tcp"
+	"github.com/ccp-repro/ccp/internal/trace"
+)
+
+// RunSummary is the per-run metric set Figure 3's caption reports:
+// utilization, median RTT, and goodput.
+type RunSummary struct {
+	Utilization float64
+	MedianRTT   time.Duration
+	Goodput     float64 // payload bytes/sec
+	Retransmits int
+	Timeouts    int
+}
+
+func (r RunSummary) String() string {
+	return fmt.Sprintf("util=%.1f%% medianRTT=%.1fms goodput=%.2fMbps retx=%d",
+		r.Utilization*100, float64(r.MedianRTT)/float64(time.Millisecond),
+		r.Goodput*8/1e6, r.Retransmits)
+}
+
+// sampleCwnd records a flow's congestion window every interval.
+func sampleCwnd(net *harness.Net, conn *tcp.Conn, interval, until time.Duration) *trace.Series {
+	s := trace.NewSeries("cwnd", "bytes")
+	var tick func()
+	tick = func() {
+		s.Add(net.Sim.Now(), float64(conn.Cwnd()))
+		if net.Sim.Now() < until {
+			net.Sim.Schedule(interval, tick)
+		}
+	}
+	net.Sim.Schedule(0, tick)
+	return s
+}
+
+// sampleRTT records a flow's smoothed RTT every interval (a proxy for the
+// per-packet RTT distribution the paper's median comes from).
+func sampleRTT(net *harness.Net, conn *tcp.Conn, interval, until time.Duration) *trace.Series {
+	s := trace.NewSeries("srtt", "seconds")
+	var tick func()
+	tick = func() {
+		if rtt := conn.SRTT(); rtt > 0 {
+			s.Add(net.Sim.Now(), rtt.Seconds())
+		}
+		if net.Sim.Now() < until {
+			net.Sim.Schedule(interval, tick)
+		}
+	}
+	net.Sim.Schedule(0, tick)
+	return s
+}
+
+// sampleThroughput records a receiver's delivery rate in fixed bins.
+func sampleThroughput(net *harness.Net, recv *tcp.Receiver, bin, until time.Duration) *trace.Series {
+	s := trace.NewSeries("throughput", "bytes_per_sec")
+	var prev int64
+	var tick func()
+	tick = func() {
+		cur := recv.Delivered()
+		s.Add(net.Sim.Now(), float64(cur-prev)/bin.Seconds())
+		prev = cur
+		if net.Sim.Now() < until {
+			net.Sim.Schedule(bin, tick)
+		}
+	}
+	net.Sim.Schedule(bin, tick)
+	return s
+}
+
+// summarize computes the RunSummary for one flow after a run of dur.
+func summarize(net *harness.Net, f *tcp.Flow, rtts *trace.Series, dur time.Duration) RunSummary {
+	var med time.Duration
+	if rtts != nil && rtts.Len() > 0 {
+		var samples []float64
+		for _, p := range rtts.Points() {
+			samples = append(samples, p.V)
+		}
+		med = time.Duration(median(samples) * float64(time.Second))
+	}
+	st := f.Conn.Stats()
+	return RunSummary{
+		Utilization: net.Utilization(dur),
+		MedianRTT:   med,
+		Goodput:     float64(f.Receiver.Delivered()) / dur.Seconds(),
+		Retransmits: st.Retransmits,
+		Timeouts:    st.Timeouts,
+	}
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	// insertion sort: series are small (thousands)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	if len(cp)%2 == 1 {
+		return cp[len(cp)/2]
+	}
+	return (cp[len(cp)/2-1] + cp[len(cp)/2]) / 2
+}
+
+// oneBDPLink builds the canonical evaluation link: rate, RTT/2 propagation
+// each way, one BDP of drop-tail buffer.
+func oneBDPLink(rateBps float64, rtt time.Duration) netsim.LinkConfig {
+	return netsim.LinkConfig{
+		RateBps:    rateBps,
+		Delay:      rtt / 2,
+		QueueBytes: harness.BDPBytes(rateBps, rtt),
+	}
+}

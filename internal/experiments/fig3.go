@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/harness"
+	"github.com/ccp-repro/ccp/internal/nativecc"
+	"github.com/ccp-repro/ccp/internal/tcp"
+	"github.com/ccp-repro/ccp/internal/trace"
+)
+
+// Fig3Config parameterizes the Figure 3 reproduction: Cubic window dynamics
+// under CCP vs. the native in-datapath implementation on one flow.
+type Fig3Config struct {
+	// RateBps is the bottleneck rate (paper: 1 Gbit/s).
+	RateBps float64
+	// RTT is the two-way propagation delay (paper: 10 ms).
+	RTT time.Duration
+	// Duration is the flow length (default 30 s).
+	Duration time.Duration
+	// IPCLatency is the simulated agent↔datapath one-way latency.
+	IPCLatency time.Duration
+	// SampleEvery sets the cwnd sampling grid (default 50 ms).
+	SampleEvery time.Duration
+	Seed        int64
+}
+
+func (c Fig3Config) withDefaults() Fig3Config {
+	if c.RateBps == 0 {
+		c.RateBps = 1e9
+	}
+	if c.RTT == 0 {
+		c.RTT = 10 * time.Millisecond
+	}
+	if c.Duration == 0 {
+		c.Duration = 30 * time.Second
+	}
+	if c.IPCLatency == 0 {
+		c.IPCLatency = 25 * time.Microsecond
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 50 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Fig3Result compares the two implementations.
+type Fig3Result struct {
+	Config       Fig3Config
+	CCP          RunSummary
+	Native       RunSummary
+	CCPCwnd      *trace.Series
+	NativeCwnd   *trace.Series
+	CwndRMSESegs float64 // RMSE between the two window traces, in segments
+}
+
+// Fig3 runs the experiment: one CCP Cubic run and one native Cubic run on
+// identical links and seeds.
+func Fig3(cfg Fig3Config) Fig3Result {
+	cfg = cfg.withDefaults()
+	link := oneBDPLink(cfg.RateBps, cfg.RTT)
+
+	runOne := func(ccp bool) (RunSummary, *trace.Series) {
+		net := harness.New(harness.Config{
+			Seed:       cfg.Seed,
+			Link:       link,
+			IPCLatency: cfg.IPCLatency,
+		})
+		var flow *tcp.Flow
+		if ccp {
+			flow = net.AddCCPFlow(1, "cubic", tcp.Options{}).Flow
+		} else {
+			flow = net.AddNativeFlow(1, nativecc.NewCubic(), tcp.Options{})
+		}
+		cwnd := sampleCwnd(net, flow.Conn, cfg.SampleEvery, cfg.Duration)
+		rtts := sampleRTT(net, flow.Conn, cfg.SampleEvery, cfg.Duration)
+		flow.Conn.Start()
+		net.Run(cfg.Duration)
+		return summarize(net, flow, rtts, cfg.Duration), cwnd
+	}
+
+	ccpSum, ccpCwnd := runOne(true)
+	natSum, natCwnd := runOne(false)
+
+	mss := 1448.0
+	return Fig3Result{
+		Config:       cfg,
+		CCP:          ccpSum,
+		Native:       natSum,
+		CCPCwnd:      ccpCwnd,
+		NativeCwnd:   natCwnd,
+		CwndRMSESegs: trace.RMSE(ccpCwnd, natCwnd, cfg.SampleEvery, cfg.Duration/10, cfg.Duration) / mss,
+	}
+}
+
+// String renders the paper-style comparison.
+func (r Fig3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: Cubic window dynamics — %.0f Mbit/s, %v RTT, 1 BDP buffer, %v\n",
+		r.Config.RateBps/1e6, r.Config.RTT, r.Config.Duration)
+	fmt.Fprintf(&b, "  (paper: Linux 94.4%% util / 15.8 ms median RTT; CCP 95.4%% / 16.1 ms)\n")
+	fmt.Fprintf(&b, "  ccp-cubic:    %s\n", r.CCP)
+	fmt.Fprintf(&b, "  linux-cubic:  %s\n", r.Native)
+	fmt.Fprintf(&b, "  cwnd RMSE (steady state): %.1f segments\n", r.CwndRMSESegs)
+	b.WriteString("\n(a) CCP Cubic\n")
+	b.WriteString(r.CCPCwnd.ASCII(72, 10))
+	b.WriteString("\n(b) Native (Linux-style) Cubic\n")
+	b.WriteString(r.NativeCwnd.ASCII(72, 10))
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/harness"
+	"github.com/ccp-repro/ccp/internal/nativecc"
+	"github.com/ccp-repro/ccp/internal/netsim"
+	"github.com/ccp-repro/ccp/internal/offload"
+	"github.com/ccp-repro/ccp/internal/tcp"
+)
+
+// Fig5Config parameterizes the Figure 5 reproduction: achieved throughput
+// on a 10 Gbit/s path with NIC offloads enabled and disabled, CCP vs.
+// kernel-native congestion control. Each configuration averages Runs runs
+// (the paper averaged four).
+type Fig5Config struct {
+	RateBps  float64       // default 10 Gbit/s
+	RTT      time.Duration // default 2 ms (LAN testbed)
+	Duration time.Duration // default 3 s per run
+	Runs     int           // default 4
+	TSOSegs  int           // segments per wire packet with TSO on (default 44)
+	Costs    offload.CostModel
+	Seed     int64
+}
+
+func (c Fig5Config) withDefaults() Fig5Config {
+	if c.RateBps == 0 {
+		c.RateBps = 10e9
+	}
+	if c.RTT == 0 {
+		c.RTT = 2 * time.Millisecond
+	}
+	if c.Duration == 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.Runs == 0 {
+		c.Runs = 4
+	}
+	if c.TSOSegs == 0 {
+		c.TSOSegs = 44
+	}
+	if c.Costs == (offload.CostModel{}) {
+		c.Costs = offload.DefaultCosts()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Fig5Cell is one bar of the figure: mean achieved throughput and the CPU
+// loads behind it.
+type Fig5Cell struct {
+	AchievedBps  float64
+	MeasuredBps  float64
+	SenderCPU    float64
+	ReceiverCPU  float64
+	GROBatchSegs float64 // mean segments per receive batch
+}
+
+// Fig5Result holds the 3×2 grid.
+type Fig5Result struct {
+	Config Fig5Config
+	// Rows: offload configuration; Cols: {native, ccp}.
+	OffloadsOn [2]Fig5Cell
+	TSOOff     [2]Fig5Cell
+	AllOff     [2]Fig5Cell
+}
+
+// Fig5 runs the full grid.
+func Fig5(cfg Fig5Config) Fig5Result {
+	cfg = cfg.withDefaults()
+	res := Fig5Result{Config: cfg}
+	res.OffloadsOn = [2]Fig5Cell{
+		fig5Cell(cfg, false, true, true),
+		fig5Cell(cfg, true, true, true),
+	}
+	res.TSOOff = [2]Fig5Cell{
+		fig5Cell(cfg, false, false, true),
+		fig5Cell(cfg, true, false, true),
+	}
+	res.AllOff = [2]Fig5Cell{
+		fig5Cell(cfg, false, false, false),
+		fig5Cell(cfg, true, false, false),
+	}
+	return res
+}
+
+// fig5Cell averages Runs runs of one configuration.
+func fig5Cell(cfg Fig5Config, ccp, tso, gro bool) Fig5Cell {
+	var cell Fig5Cell
+	for run := 0; run < cfg.Runs; run++ {
+		r := fig5Run(cfg, ccp, tso, gro, cfg.Seed+int64(run))
+		cell.AchievedBps += r.AchievedBps
+		cell.MeasuredBps += r.MeasuredBps
+		cell.SenderCPU += r.SenderCPU
+		cell.ReceiverCPU += r.ReceiverCPU
+		cell.GROBatchSegs += r.GROBatchSegs
+	}
+	n := float64(cfg.Runs)
+	cell.AchievedBps /= n
+	cell.MeasuredBps /= n
+	cell.SenderCPU /= n
+	cell.ReceiverCPU /= n
+	cell.GROBatchSegs /= n
+	return cell
+}
+
+func fig5Run(cfg Fig5Config, ccp, tso, gro bool, seed int64) Fig5Cell {
+	link := oneBDPLink(cfg.RateBps, cfg.RTT)
+	net := harness.New(harness.Config{Seed: seed, Link: link})
+	opts := tcp.Options{AckEvery: 2}
+	if tso {
+		opts.TSOSegs = cfg.TSOSegs
+	}
+	var flow *tcp.Flow
+	var isCCP *harness.CCPFlow
+	if ccp {
+		isCCP = net.AddCCPFlow(1, "cubic", opts)
+		flow = isCCP.Flow
+	} else {
+		flow = net.AddNativeFlow(1, nativecc.NewCubic(), opts)
+	}
+	// Interpose the GRO counter between the demux and the receiver.
+	groCounter := offload.NewGROCounter(net.Sim, asHandler(flow.Receiver), gro)
+	net.Fwd.Register(netsim.FlowID(1), groCounter)
+
+	flow.Conn.Start()
+	net.Run(cfg.Duration)
+
+	st := flow.Conn.Stats()
+	rst := flow.Receiver.Stats()
+	counts := offload.Counts{
+		Duration:     cfg.Duration,
+		PayloadBytes: flow.Receiver.Delivered(),
+		SegsSent:     st.SegsSent,
+		PktsSent:     st.PktsSent,
+		AcksRcvd:     st.AcksRcvd,
+		CCP:          ccp,
+		RxWirePkts:   groCounter.Pkts(),
+		RxBatches:    groCounter.Batches(),
+		AcksSent:     rst.AcksSent,
+	}
+	if ccp {
+		bst := net.Bridge.Stats()
+		counts.AgentMsgs = bst.ToAgentMsgs + bst.ToDpMsgs
+	}
+	r := cfg.Costs.Evaluate(counts)
+	return Fig5Cell{
+		AchievedBps:  r.AchievedBps,
+		MeasuredBps:  r.MeasuredBps,
+		SenderCPU:    r.SenderCPU,
+		ReceiverCPU:  r.ReceiverCPU,
+		GROBatchSegs: groCounter.MeanBatchSegs(rst.SegsRcvd),
+	}
+}
+
+func asHandler(r *tcp.Receiver) netsim.Handler { return r }
+
+// String renders the grid, paper-style.
+func (r Fig5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: achieved throughput with NIC offloads — %.0f Gbit/s link, mean of %d runs\n",
+		r.Config.RateBps/1e9, r.Config.Runs)
+	fmt.Fprintf(&b, "  (paper: offloads on — both saturate; TSO off — CCP > kernel; all off — comparable)\n\n")
+	fmt.Fprintf(&b, "  %-22s %12s %12s   %s\n", "configuration", "kernel", "ccp", "(Gbit/s; sender/receiver CPU)")
+	row := func(name string, cells [2]Fig5Cell) {
+		fmt.Fprintf(&b, "  %-22s %9.2f    %9.2f      [tx %.0f%%/%.0f%%  rx %.0f%%/%.0f%%  gro %.1f/%.1f segs]\n",
+			name,
+			cells[0].AchievedBps/1e9, cells[1].AchievedBps/1e9,
+			cells[0].SenderCPU*100, cells[1].SenderCPU*100,
+			cells[0].ReceiverCPU*100, cells[1].ReceiverCPU*100,
+			cells[0].GROBatchSegs, cells[1].GROBatchSegs)
+	}
+	row("TSO+GRO enabled", r.OffloadsOn)
+	row("TSO disabled", r.TSOOff)
+	row("TSO+GRO disabled", r.AllOff)
+	return b.String()
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/algorithms"
+	"github.com/ccp-repro/ccp/internal/core"
+	"github.com/ccp-repro/ccp/internal/harness"
+	"github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/proto"
+	"github.com/ccp-repro/ccp/internal/tcp"
+)
+
+// Table1Row is one algorithm's capability row, as in the paper's Table 1.
+type Table1Row struct {
+	Name         string
+	Measurements string
+	Controls     string
+	Batching     string
+	// Programs is the number of control programs the implementation
+	// installs at Init (verified by probing the real factory).
+	Programs int
+	// DirectOps lists direct SetCwnd/SetRate use at Init.
+	DirectOps string
+}
+
+// Table1Result reproduces Table 1 from the live registry: the primitives
+// each bundled algorithm actually uses, verified by instantiating it.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 builds the table.
+func Table1() Table1Result {
+	var res Table1Result
+	for _, info := range algorithms.All() {
+		progs, direct := core.Describe(info.Factory, 1448)
+		res.Rows = append(res.Rows, Table1Row{
+			Name:         info.Name,
+			Measurements: strings.Join(info.Measurements, ", "),
+			Controls:     strings.Join(info.Controls, ", "),
+			Batching:     info.Batching,
+			Programs:     len(progs),
+			DirectOps:    strings.Join(direct, ","),
+		})
+	}
+	return res
+}
+
+// String renders the table.
+func (r Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 1: measurement and control primitives per algorithm (verified against the registry)\n\n")
+	fmt.Fprintf(&b, "  %-14s %-42s %-24s %-8s %-5s %s\n",
+		"Protocol", "Measurement", "Control Knobs", "Batching", "Progs", "Direct")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-14s %-42s %-24s %-8s %-5d %s\n",
+			row.Name, row.Measurements, row.Controls, row.Batching, row.Programs, row.DirectOps)
+	}
+	return b.String()
+}
+
+// Table2Row verifies one control-language primitive end-to-end.
+type Table2Row struct {
+	Operation   string
+	Description string
+	Verified    bool
+}
+
+// Table2Result reproduces Table 2: each primitive of the control language,
+// exercised against a live simulated datapath.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 installs a program using every primitive on a real simulated flow
+// and checks each primitive's observable effect.
+func Table2() Table2Result {
+	net := harness.New(harness.Config{
+		Link: oneBDPLink(48e6, 10*time.Millisecond),
+	})
+	f := net.AddCCPFlow(1, "reno", tcp.Options{})
+	f.Conn.Start()
+	net.Run(500 * time.Millisecond)
+
+	// A program exercising Measure(fold) + Rate + Cwnd + Wait + WaitRtts +
+	// Report in one loop.
+	fold := &lang.FoldSpec{
+		Regs:    []lang.RegDef{{Name: "acked_t2", Init: 0}},
+		Updates: []lang.Assign{{Dst: "acked_t2", E: lang.Add(lang.V("acked_t2"), lang.V("pkt.acked"))}},
+	}
+	prog := lang.NewProgram().
+		MeasureFold(fold).
+		Rate(lang.C(2e6)).
+		Cwnd(lang.C(40000)).
+		Wait(0.005).
+		WaitRtts(1).
+		Report().
+		MustBuild()
+	data, err := lang.MarshalProgram(prog)
+	if err != nil {
+		panic("table2: " + err.Error())
+	}
+	preReports := f.DP.Stats().ReportsSent
+	f.DP.Deliver(&proto.Install{SID: 1, Prog: data})
+	net.Run(1500 * time.Millisecond)
+
+	rateOK := f.Conn.PacingRate() == 2e6
+	cwndOK := f.Conn.Cwnd() == 40000
+	reports := f.DP.Stats().ReportsSent - preReports
+	// Wait(5ms)+WaitRtts(~12ms) per cycle => ~55 reports/sec over 1.5s;
+	// check the cadence is in that ballpark (both waits active).
+	waitsOK := reports > 20 && reports < 180
+
+	return Table2Result{Rows: []Table2Row{
+		{"Measure(·)", "fold per-packet metric into bounded state", reports > 0},
+		{"Rate(r)", "rate <- r (pacing observed in datapath)", rateOK},
+		{"Cwnd(c)", "cwnd <- c (window observed in datapath)", cwndOK},
+		{"Wait(time)", "gather measurements for an absolute duration", waitsOK},
+		{"WaitRtts(α)", "wait α·RTT (RTT-relative cadence)", waitsOK},
+		{"Report()", "send measurements to the CCP", reports > 0},
+	}}
+}
+
+// String renders the table.
+func (r Table2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 2: control-language primitives, exercised on a live simulated datapath\n\n")
+	fmt.Fprintf(&b, "  %-12s %-52s %s\n", "Operation", "Description", "Verified")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-12s %-52s %v\n", row.Operation, row.Description, row.Verified)
+	}
+	return b.String()
+}
+
+// Table3Row verifies one CCP API function.
+type Table3Row struct {
+	Function    string
+	Description string
+	Calls       int
+}
+
+// Table3Result reproduces Table 3: the user-space event handlers, counted
+// over a real lossy run so every handler fires.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 runs a CCP flow over a lossy link and counts API activity.
+func Table3() Table3Result {
+	link := oneBDPLink(16e6, 10*time.Millisecond)
+	link.LossProb = 0.005
+	net := harness.New(harness.Config{Link: link})
+	f := net.AddCCPFlow(1, "cubic", tcp.Options{})
+	f.Conn.Start()
+	net.Run(10 * time.Second)
+
+	ast := net.Agent.Stats()
+	dst := f.DP.Stats()
+	return Table3Result{Rows: []Table3Row{
+		{"Init(seq, flow)", "initialize flow state", ast.FlowsCreated},
+		{"OnMeasurement(m)", "measurements have arrived", ast.Measurements + ast.Vectors},
+		{"OnUrgent(type)", "an urgent event has occurred", ast.Urgents},
+		{"Install(p)", "send new control program to the datapath", dst.InstallsRecvd},
+	}}
+}
+
+// String renders the table.
+func (r Table3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 3: CCP API handlers, invocation counts over a 10 s lossy run\n\n")
+	fmt.Fprintf(&b, "  %-18s %-46s %s\n", "Function", "Description", "Calls")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-18s %-46s %d\n", row.Function, row.Description, row.Calls)
+	}
+	return b.String()
+}

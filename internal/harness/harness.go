@@ -1,0 +1,149 @@
+// Package harness assembles complete simulated CCP deployments: a dumbbell
+// network, a user-space agent with the bundled algorithm registry, the
+// simulated-IPC bridge, and any mix of CCP-controlled and native
+// (in-datapath) flows. Experiments, examples, and integration tests all
+// build on it.
+package harness
+
+import (
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/algorithms"
+	"github.com/ccp-repro/ccp/internal/bridge"
+	"github.com/ccp-repro/ccp/internal/core"
+	"github.com/ccp-repro/ccp/internal/datapath"
+	"github.com/ccp-repro/ccp/internal/netsim"
+	"github.com/ccp-repro/ccp/internal/tcp"
+)
+
+// Config describes a harness deployment.
+type Config struct {
+	// Seed seeds the simulator RNG (default 1).
+	Seed int64
+	// Link is the forward bottleneck.
+	Link netsim.LinkConfig
+	// ReverseDelay overrides the ACK path's one-way delay (default: same
+	// as the bottleneck's, i.e. symmetric).
+	ReverseDelay time.Duration
+	// IPCLatency is the one-way agent↔datapath latency (default 25µs, the
+	// order of the Figure 2 Unix-socket measurements).
+	IPCLatency time.Duration
+	// DefaultAlg names the agent's default algorithm (default "cubic").
+	DefaultAlg string
+	// Policy optionally clamps per-flow decisions.
+	Policy core.PolicyFunc
+	// Registry overrides the algorithm registry (default: all bundled).
+	Registry *core.Registry
+}
+
+// Net is a running deployment.
+type Net struct {
+	Sim    *netsim.Sim
+	Path   *netsim.Path
+	Fwd    *netsim.Demux
+	Rev    *netsim.Demux
+	Agent  *core.Agent
+	Bridge *bridge.Bridge
+
+	nextSID uint32
+}
+
+// New builds a deployment; panics on misconfiguration (tests and
+// experiments construct these statically).
+func New(cfg Config) *Net {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.IPCLatency == 0 {
+		cfg.IPCLatency = 25 * time.Microsecond
+	}
+	if cfg.DefaultAlg == "" {
+		cfg.DefaultAlg = "cubic"
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = algorithms.NewRegistry()
+	}
+	sim := netsim.New(cfg.Seed)
+	fwd, rev := netsim.NewDemux(), netsim.NewDemux()
+	path := netsim.NewPath(sim, netsim.PathConfig{
+		Bottleneck:   cfg.Link,
+		ReverseDelay: cfg.ReverseDelay,
+	}, fwd, rev)
+	agent, err := core.NewAgent(core.AgentConfig{
+		Registry:   cfg.Registry,
+		DefaultAlg: cfg.DefaultAlg,
+		Policy:     cfg.Policy,
+	})
+	if err != nil {
+		panic("harness: " + err.Error())
+	}
+	return &Net{
+		Sim:    sim,
+		Path:   path,
+		Fwd:    fwd,
+		Rev:    rev,
+		Agent:  agent,
+		Bridge: bridge.New(sim, agent, cfg.IPCLatency),
+	}
+}
+
+// CCPFlow is a CCP-controlled flow plus its datapath runtime.
+type CCPFlow struct {
+	*tcp.Flow
+	DP *datapath.CCP
+}
+
+// AddCCPFlow creates a flow whose congestion control runs in the agent
+// under the named algorithm ("" = agent default). Call Conn.Start (or
+// StartAt) to begin.
+func (n *Net) AddCCPFlow(id netsim.FlowID, alg string, opts tcp.Options) *CCPFlow {
+	return n.AddCCPFlowCfg(id, alg, opts, datapath.Config{})
+}
+
+// AddCCPFlowCfg is AddCCPFlow with extra datapath configuration
+// (FallbackAfter, DefaultProgram, MaxVectorRows).
+func (n *Net) AddCCPFlowCfg(id netsim.FlowID, alg string, opts tcp.Options, dpCfg datapath.Config) *CCPFlow {
+	n.nextSID++
+	dpCfg.SID = n.nextSID
+	dpCfg.Alg = alg
+	dp := n.Bridge.Connect(dpCfg)
+	f := tcp.NewFlow(n.Sim, id, n.Path, n.Fwd, n.Rev, dp, opts)
+	return &CCPFlow{Flow: f, DP: dp}
+}
+
+// AddNativeFlow creates a flow with in-datapath congestion control (the
+// paper's baseline configuration).
+func (n *Net) AddNativeFlow(id netsim.FlowID, cc tcp.CongestionControl, opts tcp.Options) *tcp.Flow {
+	return tcp.NewFlow(n.Sim, id, n.Path, n.Fwd, n.Rev, cc, opts)
+}
+
+// StartAt schedules a flow start at sim time t.
+func (n *Net) StartAt(f *tcp.Flow, t time.Duration) {
+	n.Sim.Schedule(t, f.Conn.Start)
+}
+
+// StopAt schedules a flow stop at sim time t.
+func (n *Net) StopAt(f *tcp.Flow, t time.Duration) {
+	n.Sim.Schedule(t, f.Conn.Stop)
+}
+
+// Run advances the simulation to the given absolute time.
+func (n *Net) Run(until time.Duration) {
+	n.Sim.Run(until)
+}
+
+// Utilization returns the bottleneck utilization over elapsed time.
+func (n *Net) Utilization(elapsed time.Duration) float64 {
+	return n.Path.Forward.Utilization(elapsed)
+}
+
+// Gbps converts bits/sec for LinkConfig literals.
+func Gbps(g float64) float64 { return g * 1e9 }
+
+// Mbps converts bits/sec for LinkConfig literals.
+func Mbps(m float64) float64 { return m * 1e6 }
+
+// BDPBytes computes a bandwidth-delay product for buffer sizing.
+func BDPBytes(rateBps float64, rtt time.Duration) int {
+	return int(rateBps / 8 * rtt.Seconds())
+}

@@ -1,0 +1,99 @@
+package ipc
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/stats"
+)
+
+// This file implements the Figure 2 measurement: the round-trip latency of a
+// small control message over an IPC mechanism, under an idle and a heavily
+// loaded CPU. The paper measured Netlink (kernel↔user) and Unix domain
+// sockets (user↔user); we measure Unix datagram sockets (the closest stdlib
+// analog of Netlink's datagram semantics) and Unix stream sockets, plus the
+// in-process channel transport as a floor.
+
+// Echo serves echo requests on t until Recv fails: every received message is
+// sent straight back. Run it on its own goroutine (or process).
+func Echo(t Transport) {
+	for {
+		msg, err := t.Recv()
+		if err != nil {
+			return
+		}
+		if err := t.Send(msg); err != nil {
+			return
+		}
+	}
+}
+
+// MeasureRTT sends n messages of size payloadBytes over t, waiting for each
+// echo before sending the next, and returns the per-message round-trip
+// times. warmup extra round trips run first and are discarded.
+func MeasureRTT(t Transport, n, warmup, payloadBytes int) (*stats.Samples, error) {
+	if payloadBytes < 1 {
+		payloadBytes = 1
+	}
+	msg := make([]byte, payloadBytes)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	var out stats.Samples
+	for i := 0; i < warmup+n; i++ {
+		start := time.Now()
+		if err := t.Send(msg); err != nil {
+			return nil, fmt.Errorf("ipc: echo send %d: %w", i, err)
+		}
+		reply, err := t.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("ipc: echo recv %d: %w", i, err)
+		}
+		rtt := time.Since(start)
+		if len(reply) != len(msg) {
+			return nil, fmt.Errorf("ipc: echo reply length %d, want %d", len(reply), len(msg))
+		}
+		if i >= warmup {
+			out.Add(float64(rtt))
+		}
+	}
+	return &out, nil
+}
+
+// BusyLoad burns CPU on n goroutines (default: GOMAXPROCS) until the
+// returned stop function is called. It reproduces Figure 2's "high CPU
+// utilization" condition, where the paper observed *lower* IPC latencies
+// (TurboBoost and no idle-state exit penalties).
+func BusyLoad(n int) (stop func()) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	var quit atomic.Bool
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			x := uint64(2463534242)
+			for !quit.Load() {
+				// xorshift inner loop: pure CPU, no allocation, no syscalls.
+				for k := 0; k < 4096; k++ {
+					x ^= x << 13
+					x ^= x >> 7
+					x ^= x << 17
+				}
+			}
+			sink.Store(x)
+		}()
+	}
+	return func() {
+		quit.Store(true)
+		for i := 0; i < n; i++ {
+			<-done
+		}
+	}
+}
+
+// sink defeats dead-code elimination of the busy loop.
+var sink atomic.Uint64

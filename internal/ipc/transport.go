@@ -1,0 +1,95 @@
+// Package ipc provides the message transports connecting the CCP agent and
+// datapaths: an in-process channel pair (tests and single-binary
+// deployments), Unix stream sockets, and Unix datagram sockets (the closest
+// stdlib analog of the Netlink sockets the paper's kernel datapath used).
+// It also contains the echo client/server and CPU-load machinery behind the
+// Figure 2 IPC round-trip-latency measurement.
+package ipc
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("ipc: transport closed")
+
+// Transport moves whole messages between an agent and a datapath. Send and
+// Recv are safe for concurrent use; message boundaries are preserved.
+type Transport interface {
+	// Send transmits one message.
+	Send(msg []byte) error
+	// Recv blocks until one message arrives and returns it. The returned
+	// slice is owned by the caller.
+	Recv() ([]byte, error)
+	// Close releases the transport; pending and future calls fail with
+	// ErrClosed (or an equivalent network error).
+	Close() error
+}
+
+// chanTransport is one endpoint of an in-process pair.
+type chanTransport struct {
+	send chan<- []byte
+	recv <-chan []byte
+
+	mu     sync.Mutex
+	closed chan struct{}
+	peer   *chanTransport
+}
+
+// ChanPair returns two connected in-process transports with the given buffer
+// depth per direction. Messages are copied on Send, so callers may reuse
+// their buffers.
+func ChanPair(depth int) (Transport, Transport) {
+	if depth < 0 {
+		depth = 0
+	}
+	ab := make(chan []byte, depth)
+	ba := make(chan []byte, depth)
+	a := &chanTransport{send: ab, recv: ba, closed: make(chan struct{})}
+	b := &chanTransport{send: ba, recv: ab, closed: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (c *chanTransport) Send(msg []byte) error {
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peer.closed:
+		return ErrClosed
+	case c.send <- cp:
+		return nil
+	}
+}
+
+func (c *chanTransport) Recv() ([]byte, error) {
+	select {
+	case <-c.closed:
+		return nil, ErrClosed
+	case msg := <-c.recv:
+		return msg, nil
+	case <-c.peer.closed:
+		// Drain anything already queued before reporting closure.
+		select {
+		case msg := <-c.recv:
+			return msg, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *chanTransport) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-c.closed:
+		return nil
+	default:
+		close(c.closed)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package ipc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxFrame bounds a single message on stream transports; larger frames are
+// rejected on both send and receive so a corrupt length prefix cannot drive
+// unbounded allocation.
+const MaxFrame = 1 << 20
+
+// streamTransport frames messages over a reliable byte stream with a 4-byte
+// little-endian length prefix.
+type streamTransport struct {
+	conn net.Conn
+
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+	hdr    [4]byte
+	rhdr   [4]byte
+}
+
+// NewStream wraps a connected byte-stream connection (Unix or TCP) in a
+// framing Transport.
+func NewStream(conn net.Conn) Transport {
+	return &streamTransport{conn: conn}
+}
+
+func (s *streamTransport) Send(msg []byte) error {
+	if len(msg) > MaxFrame {
+		return fmt.Errorf("ipc: frame too large (%d bytes)", len(msg))
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	binary.LittleEndian.PutUint32(s.hdr[:], uint32(len(msg)))
+	if _, err := s.conn.Write(s.hdr[:]); err != nil {
+		return err
+	}
+	_, err := s.conn.Write(msg)
+	return err
+}
+
+func (s *streamTransport) Recv() ([]byte, error) {
+	s.recvMu.Lock()
+	defer s.recvMu.Unlock()
+	if _, err := io.ReadFull(s.conn, s.rhdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(s.rhdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("ipc: oversized frame (%d bytes)", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(s.conn, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+func (s *streamTransport) Close() error { return s.conn.Close() }
+
+// ListenUnix listens on a Unix stream socket at path. The caller accepts
+// connections and wraps each with NewStream.
+func ListenUnix(path string) (*net.UnixListener, error) {
+	addr, err := net.ResolveUnixAddr("unix", path)
+	if err != nil {
+		return nil, err
+	}
+	return net.ListenUnix("unix", addr)
+}
+
+// DialUnix connects to a Unix stream socket and returns a framing Transport.
+func DialUnix(path string) (Transport, error) {
+	conn, err := net.Dial("unix", path)
+	if err != nil {
+		return nil, err
+	}
+	return NewStream(conn), nil
+}
+
+// dgramTransport is a Unix datagram socket endpoint: one datagram per
+// message, preserving boundaries without framing — the same semantics as the
+// Netlink sockets the paper's kernel datapath used. The socket is bound
+// locally and every Send is addressed to the fixed peer.
+type dgramTransport struct {
+	conn *net.UnixConn
+	peer *net.UnixAddr
+	buf  sync.Pool
+}
+
+func newDgram(conn *net.UnixConn, peer *net.UnixAddr) Transport {
+	return &dgramTransport{
+		conn: conn,
+		peer: peer,
+		buf:  sync.Pool{New: func() any { b := make([]byte, MaxFrame); return &b }},
+	}
+}
+
+func (d *dgramTransport) Send(msg []byte) error {
+	if len(msg) > MaxFrame {
+		return fmt.Errorf("ipc: datagram too large (%d bytes)", len(msg))
+	}
+	_, err := d.conn.WriteToUnix(msg, d.peer)
+	return err
+}
+
+func (d *dgramTransport) Recv() ([]byte, error) {
+	bp := d.buf.Get().(*[]byte)
+	defer d.buf.Put(bp)
+	n, _, err := d.conn.ReadFromUnix(*bp)
+	if err != nil {
+		return nil, err
+	}
+	msg := make([]byte, n)
+	copy(msg, (*bp)[:n])
+	return msg, nil
+}
+
+func (d *dgramTransport) Close() error { return d.conn.Close() }
+
+// BindDgram binds a Unix datagram socket at local whose Sends are addressed
+// to peer. The peer socket need not exist yet; Sends fail until it does.
+func BindDgram(local, peer string) (Transport, error) {
+	laddr, err := net.ResolveUnixAddr("unixgram", local)
+	if err != nil {
+		return nil, err
+	}
+	paddr, err := net.ResolveUnixAddr("unixgram", peer)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUnixgram("unixgram", laddr)
+	if err != nil {
+		return nil, err
+	}
+	return newDgram(conn, paddr), nil
+}
+
+// DgramPair binds Unix datagram sockets at pathA and pathB, each addressed
+// at the other, and returns the two endpoints. Both paths must be free.
+func DgramPair(pathA, pathB string) (Transport, Transport, error) {
+	a, err := BindDgram(pathA, pathB)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := BindDgram(pathB, pathA)
+	if err != nil {
+		a.Close()
+		return nil, nil, err
+	}
+	return a, b, nil
+}

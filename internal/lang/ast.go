@@ -1,0 +1,282 @@
+// Package lang implements the CCP datapath language from the paper's §2:
+//
+//   - Control programs (Table 2): sequences of Rate/Cwnd/Wait/WaitRtts/Report
+//     primitives that the datapath executes, letting algorithms like BBR
+//     specify precise sending patterns and measurement intervals without a
+//     round trip to user space per action.
+//   - Fold functions (§2.4): per-packet measurement summarization compiled to
+//     a small register bytecode the datapath runs in O(1) state per flow.
+//   - Vector measurements (§2.4): a per-packet field list the datapath
+//     appends to and ships to user space at Report time.
+//
+// Expressions are pure (no side effects); all state lives in named fold
+// registers updated by explicit assignments. Division by zero evaluates to
+// zero by definition: the datapath must never trap (§2.2 notes that such
+// exceptions crash kernels; our VM makes them total instead).
+package lang
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Expr is a pure arithmetic/boolean expression over named variables.
+// Booleans are represented numerically: 0 is false, anything else is true;
+// comparison operators yield exactly 0 or 1.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Const is a numeric literal.
+type Const float64
+
+// Var references a variable by name: a packet field ("pkt.rtt"), a flow
+// variable ("flow.cwnd"), or a fold register ("minrtt").
+type Var string
+
+// BinKind enumerates binary operators.
+type BinKind uint8
+
+// Binary operators. Div is total: x/0 == 0.
+const (
+	OpAdd BinKind = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMin
+	OpMax
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpEq
+	OpNe
+	OpAnd
+	OpOr
+	numBinKinds
+)
+
+var binNames = [...]string{"+", "-", "*", "/", "min", "max", "<", "<=", ">", ">=", "==", "!=", "and", "or"}
+
+func (k BinKind) String() string {
+	if int(k) < len(binNames) {
+		return binNames[k]
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Bin applies Op to L and R.
+type Bin struct {
+	Op   BinKind
+	L, R Expr
+}
+
+// If selects Then when Cond is true (non-zero), else Else. Both branches are
+// evaluated (expressions are pure, so this only costs time, never safety).
+type If struct {
+	Cond, Then, Else Expr
+}
+
+func (Const) exprNode() {}
+func (Var) exprNode()   {}
+func (*Bin) exprNode()  {}
+func (*If) exprNode()   {}
+
+func (c Const) String() string { return trimFloat(float64(c)) }
+func (v Var) String() string   { return string(v) }
+func (b *Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.Op, b.L, b.R)
+}
+func (i *If) String() string {
+	return fmt.Sprintf("(if %s %s %s)", i.Cond, i.Then, i.Else)
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// Convenience constructors keep algorithm code readable.
+
+// C returns a constant expression.
+func C(v float64) Expr { return Const(v) }
+
+// V returns a variable reference.
+func V(name string) Expr { return Var(name) }
+
+// Add returns l + r.
+func Add(l, r Expr) Expr { return &Bin{OpAdd, l, r} }
+
+// Sub returns l - r.
+func Sub(l, r Expr) Expr { return &Bin{OpSub, l, r} }
+
+// Mul returns l * r.
+func Mul(l, r Expr) Expr { return &Bin{OpMul, l, r} }
+
+// Div returns l / r, with x/0 defined as 0.
+func Div(l, r Expr) Expr { return &Bin{OpDiv, l, r} }
+
+// Min returns min(l, r).
+func Min(l, r Expr) Expr { return &Bin{OpMin, l, r} }
+
+// Max returns max(l, r).
+func Max(l, r Expr) Expr { return &Bin{OpMax, l, r} }
+
+// Lt returns l < r as 0/1.
+func Lt(l, r Expr) Expr { return &Bin{OpLt, l, r} }
+
+// Le returns l <= r as 0/1.
+func Le(l, r Expr) Expr { return &Bin{OpLe, l, r} }
+
+// Gt returns l > r as 0/1.
+func Gt(l, r Expr) Expr { return &Bin{OpGt, l, r} }
+
+// Ge returns l >= r as 0/1.
+func Ge(l, r Expr) Expr { return &Bin{OpGe, l, r} }
+
+// Eq returns l == r as 0/1.
+func Eq(l, r Expr) Expr { return &Bin{OpEq, l, r} }
+
+// Ne returns l != r as 0/1.
+func Ne(l, r Expr) Expr { return &Bin{OpNe, l, r} }
+
+// And returns boolean and as 0/1.
+func And(l, r Expr) Expr { return &Bin{OpAnd, l, r} }
+
+// Or returns boolean or as 0/1.
+func Or(l, r Expr) Expr { return &Bin{OpOr, l, r} }
+
+// Ite returns a conditional expression.
+func Ite(cond, then, els Expr) Expr { return &If{cond, then, els} }
+
+// Env resolves variable values during tree-walking evaluation (used in tests
+// and by the agent; the datapath uses the compiled bytecode instead).
+type Env func(name string) (float64, bool)
+
+// Eval evaluates e under env. Unknown variables are an error; arithmetic is
+// total (x/0 == 0, NaNs are squashed to 0).
+func Eval(e Expr, env Env) (float64, error) {
+	switch n := e.(type) {
+	case Const:
+		return float64(n), nil
+	case Var:
+		v, ok := env(string(n))
+		if !ok {
+			return 0, fmt.Errorf("lang: unknown variable %q", string(n))
+		}
+		return v, nil
+	case *Bin:
+		l, err := Eval(n.L, env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := Eval(n.R, env)
+		if err != nil {
+			return 0, err
+		}
+		return applyBin(n.Op, l, r), nil
+	case *If:
+		c, err := Eval(n.Cond, env)
+		if err != nil {
+			return 0, err
+		}
+		t, err := Eval(n.Then, env)
+		if err != nil {
+			return 0, err
+		}
+		f, err := Eval(n.Else, env)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return t, nil
+		}
+		return f, nil
+	default:
+		return 0, fmt.Errorf("lang: unknown expression node %T", e)
+	}
+}
+
+func applyBin(op BinKind, l, r float64) float64 {
+	var v float64
+	switch op {
+	case OpAdd:
+		v = l + r
+	case OpSub:
+		v = l - r
+	case OpMul:
+		v = l * r
+	case OpDiv:
+		if r == 0 {
+			return 0
+		}
+		v = l / r
+	case OpMin:
+		v = math.Min(l, r)
+	case OpMax:
+		v = math.Max(l, r)
+	case OpLt:
+		v = b2f(l < r)
+	case OpLe:
+		v = b2f(l <= r)
+	case OpGt:
+		v = b2f(l > r)
+	case OpGe:
+		v = b2f(l >= r)
+	case OpEq:
+		v = b2f(l == r)
+	case OpNe:
+		v = b2f(l != r)
+	case OpAnd:
+		v = b2f(l != 0 && r != 0)
+	case OpOr:
+		v = b2f(l != 0 || r != 0)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Vars returns the sorted set of variable names referenced by e.
+func Vars(e Expr) []string {
+	set := map[string]bool{}
+	collectVars(e, set)
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func collectVars(e Expr, set map[string]bool) {
+	switch n := e.(type) {
+	case Var:
+		set[string(n)] = true
+	case *Bin:
+		collectVars(n.L, set)
+		collectVars(n.R, set)
+	case *If:
+		collectVars(n.Cond, set)
+		collectVars(n.Then, set)
+		collectVars(n.Else, set)
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && strings.Compare(s[j], s[j-1]) < 0; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

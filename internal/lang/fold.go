@@ -1,0 +1,127 @@
+package lang
+
+import "fmt"
+
+// RegDef declares a fold register: named state initialized to Init each time
+// the fold is (re)started — at install and after every Report.
+type RegDef struct {
+	Name string
+	Init float64
+}
+
+// Assign updates register Dst with the value of E. Assignments run in order;
+// later assignments observe earlier ones within the same packet (matching
+// the paper's Vegas fold example, where inQ uses the just-updated baseRtt).
+type Assign struct {
+	Dst string
+	E   Expr
+}
+
+// FoldSpec is a fold function (§2.4): bounded per-flow measurement state
+// plus an update rule applied per acknowledged packet in the datapath.
+type FoldSpec struct {
+	Regs    []RegDef
+	Updates []Assign
+}
+
+// Validate checks register naming and that every update targets a declared
+// register and references only resolvable variables.
+func (f *FoldSpec) Validate() error {
+	seen := map[string]bool{}
+	for _, r := range f.Regs {
+		if r.Name == "" {
+			return fmt.Errorf("lang: empty register name")
+		}
+		if Reserved(r.Name) {
+			return fmt.Errorf("lang: register %q collides with a built-in variable", r.Name)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("lang: duplicate register %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	resolve := StdResolver(f.regNames())
+	for _, a := range f.Updates {
+		if !seen[a.Dst] {
+			return fmt.Errorf("lang: assignment to undeclared register %q", a.Dst)
+		}
+		for _, v := range Vars(a.E) {
+			if _, ok := resolve(v); !ok {
+				return fmt.Errorf("lang: fold references unknown variable %q", v)
+			}
+		}
+	}
+	return nil
+}
+
+func (f *FoldSpec) regNames() []string {
+	names := make([]string, len(f.Regs))
+	for i, r := range f.Regs {
+		names[i] = r.Name
+	}
+	return names
+}
+
+// RegNames returns the register names in declaration (report) order.
+func (f *FoldSpec) RegNames() []string { return f.regNames() }
+
+// CompiledFold is a FoldSpec lowered to bytecode for per-ACK execution.
+type CompiledFold struct {
+	Spec  *FoldSpec
+	codes []*Code
+	dsts  []int // variable-table slots of each update's destination
+	stack []float64
+}
+
+// CompileFold validates and compiles f.
+func CompileFold(f *FoldSpec) (*CompiledFold, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	resolve := StdResolver(f.regNames())
+	cf := &CompiledFold{Spec: f}
+	maxStack := 0
+	for _, a := range f.Updates {
+		code, err := Compile(a.E, resolve)
+		if err != nil {
+			return nil, err
+		}
+		slot, _ := resolve(a.Dst)
+		cf.codes = append(cf.codes, code)
+		cf.dsts = append(cf.dsts, slot)
+		if code.MaxStack > maxStack {
+			maxStack = code.MaxStack
+		}
+	}
+	cf.stack = make([]float64, 0, maxStack)
+	return cf, nil
+}
+
+// NumRegs returns the number of registers.
+func (cf *CompiledFold) NumRegs() int { return len(cf.Spec.Regs) }
+
+// InitRegs resets the register slots of vars to their declared initial
+// values. vars must be a full variable table (VarTableSize(NumRegs())).
+func (cf *CompiledFold) InitRegs(vars []float64) {
+	for i, r := range cf.Spec.Regs {
+		vars[RegSlot(i)] = r.Init
+	}
+}
+
+// Step folds one packet into the registers. vars holds the current packet
+// fields, flow variables, and registers; register slots are updated in
+// place. Allocation-free.
+func (cf *CompiledFold) Step(vars []float64) {
+	for i, code := range cf.codes {
+		vars[cf.dsts[i]] = code.Eval(vars, cf.stack)
+	}
+}
+
+// ReadRegs copies the register values out of vars in declaration order,
+// appending to dst.
+func (cf *CompiledFold) ReadRegs(vars []float64, dst []float64) []float64 {
+	for i := range cf.Spec.Regs {
+		dst = append(dst, vars[RegSlot(i)])
+	}
+	return dst
+}

@@ -1,0 +1,255 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseFold parses the S-expression fold dialect. Grammar:
+//
+//	fold    := '(' 'def' reg+ ')' update*
+//	reg     := '(' name init ')'
+//	update  := '(' ':=' name expr ')'
+//	expr    := number | ident
+//	        | '(' binop expr expr ')'
+//	        | '(' 'if' expr expr expr ')'
+//	binop   := + - * / min max < <= > >= == != and or
+//
+// Example (the paper's Vegas fold, §2.4):
+//
+//	(def (base_rtt 1e9) (delta 0))
+//	(:= base_rtt (min base_rtt pkt.rtt))
+//	(:= delta (if (< (/ (* (- pkt.rtt base_rtt) cwnd) (max base_rtt 1e-9)) 2)
+//	              (+ delta 1)
+//	              (if (> (/ (* (- pkt.rtt base_rtt) cwnd) (max base_rtt 1e-9)) 4)
+//	                  (- delta 1)
+//	                  delta)))
+func ParseFold(src string) (*FoldSpec, error) {
+	nodes, err := parseSexprs(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("lang: empty fold")
+	}
+	spec := &FoldSpec{}
+	defs, ok := nodes[0].(sexprList)
+	if !ok || len(defs) == 0 || atomOf(defs[0]) != "def" {
+		return nil, fmt.Errorf("lang: fold must start with a (def ...) form")
+	}
+	for _, d := range defs[1:] {
+		pair, ok := d.(sexprList)
+		if !ok || len(pair) != 2 {
+			return nil, fmt.Errorf("lang: register definition must be (name init), got %v", d)
+		}
+		name := atomOf(pair[0])
+		if name == "" {
+			return nil, fmt.Errorf("lang: bad register name in %v", d)
+		}
+		init, err := atomNumber(pair[1])
+		if err != nil {
+			return nil, fmt.Errorf("lang: bad register init for %q: %v", name, err)
+		}
+		spec.Regs = append(spec.Regs, RegDef{Name: name, Init: init})
+	}
+	for _, n := range nodes[1:] {
+		upd, ok := n.(sexprList)
+		if !ok || len(upd) != 3 || atomOf(upd[0]) != ":=" {
+			return nil, fmt.Errorf("lang: update must be (:= name expr), got %v", n)
+		}
+		dst := atomOf(upd[1])
+		if dst == "" {
+			return nil, fmt.Errorf("lang: bad assignment target in %v", n)
+		}
+		e, err := sexprToExpr(upd[2])
+		if err != nil {
+			return nil, err
+		}
+		spec.Updates = append(spec.Updates, Assign{Dst: dst, E: e})
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// ParseExpr parses a single S-expression expression, for tests and tools.
+func ParseExpr(src string) (Expr, error) {
+	nodes, err := parseSexprs(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) != 1 {
+		return nil, fmt.Errorf("lang: expected one expression, got %d", len(nodes))
+	}
+	return sexprToExpr(nodes[0])
+}
+
+var sexprBinOps = map[string]BinKind{
+	"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv,
+	"min": OpMin, "max": OpMax,
+	"<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe, "==": OpEq, "!=": OpNe,
+	"and": OpAnd, "or": OpOr,
+}
+
+func sexprToExpr(n sexpr) (Expr, error) {
+	switch v := n.(type) {
+	case sexprAtom:
+		if f, err := strconv.ParseFloat(string(v), 64); err == nil {
+			return Const(f), nil
+		}
+		return Var(string(v)), nil
+	case sexprList:
+		if len(v) == 0 {
+			return nil, fmt.Errorf("lang: empty list expression")
+		}
+		head := atomOf(v[0])
+		if head == "if" {
+			if len(v) != 4 {
+				return nil, fmt.Errorf("lang: (if cond then else) needs 3 arguments, got %d", len(v)-1)
+			}
+			cond, err := sexprToExpr(v[1])
+			if err != nil {
+				return nil, err
+			}
+			then, err := sexprToExpr(v[2])
+			if err != nil {
+				return nil, err
+			}
+			els, err := sexprToExpr(v[3])
+			if err != nil {
+				return nil, err
+			}
+			return &If{cond, then, els}, nil
+		}
+		op, ok := sexprBinOps[head]
+		if !ok {
+			return nil, fmt.Errorf("lang: unknown operator %q", head)
+		}
+		if len(v) != 3 {
+			return nil, fmt.Errorf("lang: operator %q needs 2 arguments, got %d", head, len(v)-1)
+		}
+		l, err := sexprToExpr(v[1])
+		if err != nil {
+			return nil, err
+		}
+		r, err := sexprToExpr(v[2])
+		if err != nil {
+			return nil, err
+		}
+		return &Bin{op, l, r}, nil
+	default:
+		return nil, fmt.Errorf("lang: bad S-expression node %T", n)
+	}
+}
+
+// S-expression reader.
+
+type sexpr interface{ sexprNode() }
+type sexprAtom string
+type sexprList []sexpr
+
+func (sexprAtom) sexprNode() {}
+func (sexprList) sexprNode() {}
+
+func atomOf(n sexpr) string {
+	if a, ok := n.(sexprAtom); ok {
+		return string(a)
+	}
+	return ""
+}
+
+func atomNumber(n sexpr) (float64, error) {
+	a, ok := n.(sexprAtom)
+	if !ok {
+		return 0, fmt.Errorf("expected number, got list")
+	}
+	return strconv.ParseFloat(string(a), 64)
+}
+
+func parseSexprs(src string) ([]sexpr, error) {
+	toks, err := sexprTokens(src)
+	if err != nil {
+		return nil, err
+	}
+	var nodes []sexpr
+	pos := 0
+	for pos < len(toks) {
+		n, next, err := parseSexprAt(toks, pos)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+		pos = next
+	}
+	return nodes, nil
+}
+
+func parseSexprAt(toks []string, pos int) (sexpr, int, error) {
+	if pos >= len(toks) {
+		return nil, pos, fmt.Errorf("lang: unexpected end of input")
+	}
+	tok := toks[pos]
+	switch tok {
+	case "(":
+		var list sexprList
+		pos++
+		for {
+			if pos >= len(toks) {
+				return nil, pos, fmt.Errorf("lang: unclosed parenthesis")
+			}
+			if toks[pos] == ")" {
+				return list, pos + 1, nil
+			}
+			n, next, err := parseSexprAt(toks, pos)
+			if err != nil {
+				return nil, pos, err
+			}
+			list = append(list, n)
+			pos = next
+		}
+	case ")":
+		return nil, pos, fmt.Errorf("lang: unexpected ')'")
+	default:
+		return sexprAtom(tok), pos + 1, nil
+	}
+}
+
+func sexprTokens(src string) ([]string, error) {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range src {
+		switch {
+		case r == '(' || r == ')':
+			flush()
+			toks = append(toks, string(r))
+		case unicode.IsSpace(r):
+			flush()
+		case r == ';':
+			// Comments run to end of line; but we tokenize rune-by-rune, so
+			// mark and skip via state below.
+			flush()
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	// Strip comment tokens (; to end of line handled coarsely: any token
+	// starting with ';' and subsequent tokens on the same line are rare in
+	// practice; we simply reject ';' to keep the grammar unambiguous).
+	for _, t := range toks {
+		if strings.HasPrefix(t, ";") {
+			return nil, fmt.Errorf("lang: comments are not supported in fold source")
+		}
+	}
+	return toks, nil
+}

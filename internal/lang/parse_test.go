@@ -1,0 +1,262 @@
+package lang
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseFoldVegas(t *testing.T) {
+	src := `
+	(def (base_rtt 1e9) (delta 0))
+	(:= base_rtt (min base_rtt pkt.rtt))
+	(:= delta (if (< (/ (* (- pkt.rtt base_rtt) cwnd) (max base_rtt 1e-9)) 2)
+	              (+ delta 1)
+	              (if (> (/ (* (- pkt.rtt base_rtt) cwnd) (max base_rtt 1e-9)) 4)
+	                  (- delta 1)
+	                  delta)))`
+	f, err := ParseFold(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Regs) != 2 || f.Regs[0].Name != "base_rtt" || f.Regs[0].Init != 1e9 {
+		t.Fatalf("regs=%+v", f.Regs)
+	}
+	if len(f.Updates) != 2 {
+		t.Fatalf("updates=%d", len(f.Updates))
+	}
+	// Parsed fold must behave identically to the hand-built one.
+	cf, err := CompileFold(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := CompileFold(vegasFold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rtt := range []float64{0.1, 0.15, 0.13, 0.09, 0.2} {
+		varsA := make([]float64, VarTableSize(2))
+		varsB := make([]float64, VarTableSize(2))
+		cf.InitRegs(varsA)
+		ref.InitRegs(varsB)
+		varsA[FlowVarSlot(FlowCwnd)] = 10
+		varsB[FlowVarSlot(FlowCwnd)] = 10
+		varsA[PktFieldSlot(FieldRTT)] = rtt
+		varsB[PktFieldSlot(FieldRTT)] = rtt
+		cf.Step(varsA)
+		ref.Step(varsB)
+		if varsA[RegSlot(1)] != varsB[RegSlot(1)] {
+			t.Fatalf("rtt=%v: parsed=%v built=%v", rtt, varsA[RegSlot(1)], varsB[RegSlot(1)])
+		}
+	}
+}
+
+func TestParseFoldErrors(t *testing.T) {
+	cases := []string{
+		"",                                // empty
+		"(:= a 1)",                        // no def
+		"(def (a))",                       // missing init
+		"(def (a 0)) (:= b 1)",            // undeclared target
+		"(def (a 0)) (:= a (+ 1))",        // arity
+		"(def (a 0)) (:= a (frob 1 2))",   // unknown op
+		"(def (a 0)) (:= a (if 1 2))",     // if arity
+		"(def (a 0)) (:= a (+ 1 2",        // unclosed
+		"(def (a 0)) ) ",                  // stray paren
+		"(def (cwnd 0)) (:= cwnd 1)",      // reserved
+		"(def (a zero))",                  // non-numeric init
+		"(def (a 0)) (:= a unknown_var)",  // unknown var
+		"(def (a 0)) (:= a 1) ; trailing", // comment unsupported
+	}
+	for _, src := range cases {
+		if _, err := ParseFold(src); err == nil {
+			t.Errorf("ParseFold(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseExprSexpr(t *testing.T) {
+	e, err := ParseExpr("(+ (* 2 cwnd) (min srtt 0.5))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Eval(e, env(map[string]float64{"cwnd": 10, "srtt": 0.3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 20.3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseProgramBBRSyntax(t *testing.T) {
+	src := `Rate(1.25*rate).WaitRtts(1.0).Report().
+	        Rate(0.75*rate).WaitRtts(1.0).Report().
+	        Rate(rate).WaitRtts(6.0).Report()`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 9 {
+		t.Fatalf("instrs=%d, want 9", len(p.Instrs))
+	}
+	sr, ok := p.Instrs[0].(SetRate)
+	if !ok {
+		t.Fatalf("instr 0 is %T", p.Instrs[0])
+	}
+	got, err := Eval(sr.E, env(map[string]float64{"rate": 100}))
+	if err != nil || got != 125 {
+		t.Fatalf("rate expr => %v, %v", got, err)
+	}
+	wr, ok := p.Instrs[7].(WaitRtts)
+	if !ok {
+		t.Fatalf("instr 7 is %T", p.Instrs[7])
+	}
+	if v, _ := Eval(wr.Rtts, env(nil)); v != 6 {
+		t.Fatalf("WaitRtts=%v", v)
+	}
+}
+
+func TestParseProgramMeasureVector(t *testing.T) {
+	p, err := ParseProgram("Measure(rtt, acked, ecn).Cwnd(cwnd).WaitRtts(1).Report()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Measure.Mode != MeasureVector || len(p.Measure.Fields) != 3 {
+		t.Fatalf("measure=%+v", p.Measure)
+	}
+	if p.Measure.Fields[0] != FieldRTT || p.Measure.Fields[2] != FieldECN {
+		t.Fatalf("fields=%v", p.Measure.Fields)
+	}
+}
+
+func TestParseProgramMeasureEmptyIsEWMA(t *testing.T) {
+	p, err := ParseProgram("Measure().WaitRtts(1).Report()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Measure.Mode != MeasureEWMA {
+		t.Fatalf("mode=%v", p.Measure.Mode)
+	}
+}
+
+func TestParseProgramFunctionsAndPrecedence(t *testing.T) {
+	p, err := ParseProgram("Cwnd(max(2*mss, cwnd/2 + mss)).Report()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := p.Instrs[0].(SetCwnd)
+	got, err := Eval(sc.E, env(map[string]float64{"mss": 1000, "cwnd": 10000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6000 {
+		t.Fatalf("got %v, want 6000", got)
+	}
+}
+
+func TestParseProgramIfAndComparison(t *testing.T) {
+	p, err := ParseProgram("Cwnd(if(srtt > 0.1, cwnd/2, cwnd + mss))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := p.Instrs[0].(SetCwnd)
+	got, _ := Eval(sc.E, env(map[string]float64{"srtt": 0.2, "cwnd": 100, "mss": 10}))
+	if got != 50 {
+		t.Fatalf("got %v", got)
+	}
+	got, _ = Eval(sc.E, env(map[string]float64{"srtt": 0.05, "cwnd": 100, "mss": 10}))
+	if got != 110 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseProgramUnaryMinus(t *testing.T) {
+	p, err := ParseProgram("Rate(-2 * rate + 300)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := p.Instrs[0].(SetRate)
+	got, _ := Eval(sr.E, env(map[string]float64{"rate": 100}))
+	if got != 100 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseProgramUrgentECN(t *testing.T) {
+	p, err := ParseProgram("UrgentECN().Cwnd(cwnd).WaitRtts(1).Report()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.UrgentECN {
+		t.Fatal("UrgentECN not parsed")
+	}
+}
+
+func TestParseProgramErrors(t *testing.T) {
+	cases := []string{
+		"",                     // empty
+		"Frobnicate(1)",        // unknown statement
+		"Rate(1.25*rate",       // unclosed paren
+		"Rate()",               // empty expr
+		"Rate(1) Rate(2)",      // missing separator
+		"Rate(unknown_thing)",  // unknown var (validation)
+		"Measure(bogus_field)", // unknown field
+		"Rate(min(1))",         // arity
+		"Rate(if(1,2))",        // if arity
+		"Rate(1 @ 2)",          // bad char
+		"Rate(frob(1,2))",      // unknown function
+		"Report().Report",      // trailing junk without parens
+		"Rate(1=2)",            // single '='
+	}
+	for _, src := range cases {
+		if _, err := ParseProgram(src); err == nil {
+			t.Errorf("ParseProgram(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseInfixExprStandalone(t *testing.T) {
+	e, err := ParseInfixExpr("(cwnd + mss) / 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := Eval(e, env(map[string]float64{"cwnd": 10, "mss": 4}))
+	if got != 7 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := ParseInfixExpr("1 + "); err == nil {
+		t.Fatal("truncated expr accepted")
+	}
+	if _, err := ParseInfixExpr("1 2"); err == nil {
+		t.Fatal("trailing tokens accepted")
+	}
+}
+
+func TestParseNumberForms(t *testing.T) {
+	for _, src := range []string{"Rate(1e6)", "Rate(2.5e-3)", "Rate(0.5)", "Rate(10)"} {
+		if _, err := ParseProgram(src); err != nil {
+			t.Errorf("ParseProgram(%q): %v", src, err)
+		}
+	}
+	e, err := ParseInfixExpr("2.5e2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := Eval(e, env(nil)); math.Abs(got-250) > 1e-12 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseProgramRoundTripString(t *testing.T) {
+	// String() of a parsed program mentions each primitive used.
+	p, err := ParseProgram("Measure(rtt).Cwnd(cwnd + mss).Wait(0.01).Report()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	for _, frag := range []string{"Measure(rtt)", "Cwnd", "Wait", "Report()"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String()=%q missing %q", s, frag)
+		}
+	}
+}

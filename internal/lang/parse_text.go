@@ -1,0 +1,408 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseProgram parses the paper's dotted-call control-program syntax:
+//
+//	Rate(1.25*rate).WaitRtts(1.0).Report().
+//	Rate(0.75*rate).WaitRtts(1.0).Report().
+//	Rate(rate).WaitRtts(6.0).Report()
+//
+// Statements: Measure(field, ...), Rate(expr), Cwnd(expr), Wait(expr),
+// WaitRtts(expr), Report(), UrgentECN(). Expressions are infix arithmetic
+// over numbers and variables (pkt.* fields, flow variables, fold registers),
+// with min(a,b), max(a,b) and if(cond,a,b) function forms. Measure with
+// packet-field arguments selects vector mode; with no arguments, EWMA mode.
+// Fold measurement is attached separately (see Builder.MeasureFold or
+// ParseFold) since fold definitions use the S-expression dialect.
+func ParseProgram(src string) (*Program, error) {
+	toks, err := lexText(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("lang: empty program")
+	}
+	p := &textParser{toks: toks}
+	b := NewProgram()
+	first := true
+	for !p.done() {
+		if !first {
+			if err := p.expect(tokSep); err != nil {
+				return nil, err
+			}
+		}
+		first = false
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		switch name {
+		case "Measure":
+			var fields []Field
+			for !p.peekIs(tokRParen) {
+				if len(fields) > 0 {
+					if err := p.expect(tokComma); err != nil {
+						return nil, err
+					}
+				}
+				fname, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				full := fname
+				if !strings.HasPrefix(full, "pkt.") {
+					full = "pkt." + full
+				}
+				f, ok := FieldByName(full)
+				if !ok {
+					return nil, fmt.Errorf("lang: unknown measure field %q", fname)
+				}
+				fields = append(fields, f)
+			}
+			if err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			if len(fields) == 0 {
+				b.MeasureEWMA()
+			} else {
+				b.MeasureVector(fields...)
+			}
+		case "Rate", "Cwnd", "Wait", "WaitRtts":
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			switch name {
+			case "Rate":
+				b.Rate(e)
+			case "Cwnd":
+				b.Cwnd(e)
+			case "Wait":
+				b.WaitExpr(e)
+			case "WaitRtts":
+				b.WaitRttsExpr(e)
+			}
+		case "Report":
+			if err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			b.Report()
+		case "UrgentECN":
+			if err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			b.UrgentECN()
+		default:
+			return nil, fmt.Errorf("lang: unknown statement %q", name)
+		}
+	}
+	return b.Build()
+}
+
+// ParseInfixExpr parses a standalone infix expression ("(cwnd + mss) / 2").
+func ParseInfixExpr(src string) (Expr, error) {
+	toks, err := lexText(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &textParser{toks: toks}
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.done() {
+		return nil, fmt.Errorf("lang: trailing tokens after expression")
+	}
+	return e, nil
+}
+
+// Lexer.
+
+type tokKind uint8
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokSep // '.' between chained calls
+	tokOp  // + - * / < <= > >= == != && ||
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lexText(src string) ([]token, error) {
+	var toks []token
+	rs := []rune(src)
+	i := 0
+	prevRParen := false
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+			continue
+		case r == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case r == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case r == ',':
+			toks = append(toks, token{tokComma, ","})
+			i++
+		case r == '.' && prevRParen:
+			toks = append(toks, token{tokSep, "."})
+			i++
+		case unicode.IsDigit(r) || (r == '.' && i+1 < len(rs) && unicode.IsDigit(rs[i+1])):
+			j := i
+			seenDot, seenExp := false, false
+			for j < len(rs) {
+				c := rs[j]
+				if unicode.IsDigit(c) {
+					j++
+					continue
+				}
+				if c == '.' && !seenDot && !seenExp {
+					// Lookahead: "1.25" continues the number; "1.Rate" does not.
+					if j+1 < len(rs) && unicode.IsDigit(rs[j+1]) {
+						seenDot = true
+						j++
+						continue
+					}
+					break
+				}
+				if (c == 'e' || c == 'E') && !seenExp && j+1 < len(rs) &&
+					(unicode.IsDigit(rs[j+1]) || rs[j+1] == '-' || rs[j+1] == '+') {
+					seenExp = true
+					j += 2
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{tokNumber, string(rs[i:j])})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_' || rs[j] == '.') {
+				// An ident-dot is only valid when followed by a letter
+				// ("pkt.rtt"); otherwise stop ("Report()." chain).
+				if rs[j] == '.' {
+					if j+1 < len(rs) && unicode.IsLetter(rs[j+1]) {
+						j++
+						continue
+					}
+					break
+				}
+				j++
+			}
+			toks = append(toks, token{tokIdent, string(rs[i:j])})
+			i = j
+		case strings.ContainsRune("+-*/<>=!&|", r):
+			j := i + 1
+			two := string(r)
+			if j < len(rs) {
+				cand := string(r) + string(rs[j])
+				switch cand {
+				case "<=", ">=", "==", "!=", "&&", "||":
+					two = cand
+					j++
+				}
+			}
+			if two == "=" || two == "!" || two == "&" || two == "|" {
+				return nil, fmt.Errorf("lang: unexpected %q at offset %d", two, i)
+			}
+			toks = append(toks, token{tokOp, two})
+			i = j
+		default:
+			return nil, fmt.Errorf("lang: unexpected character %q at offset %d", string(r), i)
+		}
+		prevRParen = len(toks) > 0 && toks[len(toks)-1].kind == tokRParen
+	}
+	return toks, nil
+}
+
+// Recursive-descent infix parser with precedence climbing.
+
+type textParser struct {
+	toks []token
+	pos  int
+}
+
+func (p *textParser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *textParser) peek() (token, bool) {
+	if p.done() {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *textParser) peekIs(k tokKind) bool {
+	t, ok := p.peek()
+	return ok && t.kind == k
+}
+
+func (p *textParser) next() (token, error) {
+	if p.done() {
+		return token{}, fmt.Errorf("lang: unexpected end of input")
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t, nil
+}
+
+func (p *textParser) expect(k tokKind) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.kind != k {
+		return fmt.Errorf("lang: unexpected token %q", t.text)
+	}
+	return nil
+}
+
+func (p *textParser) ident() (string, error) {
+	t, err := p.next()
+	if err != nil {
+		return "", err
+	}
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("lang: expected identifier, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+var infixPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"<": 3, "<=": 3, ">": 3, ">=": 3, "==": 3, "!=": 3,
+	"+": 4, "-": 4,
+	"*": 5, "/": 5,
+}
+
+var infixOps = map[string]BinKind{
+	"||": OpOr, "&&": OpAnd,
+	"<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe, "==": OpEq, "!=": OpNe,
+	"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv,
+}
+
+func (p *textParser) parseExpr(minPrec int) (Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokOp {
+			return left, nil
+		}
+		prec, known := infixPrec[t.text]
+		if !known || prec < minPrec {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &Bin{infixOps[t.text], left, right}
+	}
+}
+
+func (p *textParser) parsePrimary() (Expr, error) {
+	t, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	switch t.kind {
+	case tokNumber:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("lang: bad number %q: %v", t.text, err)
+		}
+		return Const(f), nil
+	case tokLParen:
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokOp:
+		if t.text == "-" {
+			e, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			return &Bin{OpSub, Const(0), e}, nil
+		}
+		return nil, fmt.Errorf("lang: unexpected operator %q", t.text)
+	case tokIdent:
+		// Function call (min/max/if) or a variable reference.
+		if p.peekIs(tokLParen) {
+			p.pos++
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "min", "max":
+				if len(args) != 2 {
+					return nil, fmt.Errorf("lang: %s takes 2 arguments, got %d", t.text, len(args))
+				}
+				op := OpMin
+				if t.text == "max" {
+					op = OpMax
+				}
+				return &Bin{op, args[0], args[1]}, nil
+			case "if":
+				if len(args) != 3 {
+					return nil, fmt.Errorf("lang: if takes 3 arguments, got %d", len(args))
+				}
+				return &If{args[0], args[1], args[2]}, nil
+			default:
+				return nil, fmt.Errorf("lang: unknown function %q", t.text)
+			}
+		}
+		return Var(t.text), nil
+	default:
+		return nil, fmt.Errorf("lang: unexpected token %q in expression", t.text)
+	}
+}
+
+func (p *textParser) parseArgs() ([]Expr, error) {
+	var args []Expr
+	for !p.peekIs(tokRParen) {
+		if len(args) > 0 {
+			if err := p.expect(tokComma); err != nil {
+				return nil, err
+			}
+		}
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+	}
+	p.pos++ // consume ')'
+	return args, nil
+}

@@ -1,0 +1,292 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MeasureMode selects how the datapath batches measurements (§2.3–2.4).
+type MeasureMode uint8
+
+const (
+	// MeasureEWMA is the paper's §3 prototype behaviour: the datapath
+	// reports the most recent ACK's values plus EWMA-filtered RTT, sending
+	// rate and receiving rate. It requires no program-carried state.
+	MeasureEWMA MeasureMode = iota
+	// MeasureFold runs a fold function per packet (bounded state).
+	MeasureFold
+	// MeasureVector appends per-packet samples of the selected fields and
+	// ships the whole vector at Report time (flexible, unbounded state).
+	MeasureVector
+)
+
+func (m MeasureMode) String() string {
+	switch m {
+	case MeasureEWMA:
+		return "ewma"
+	case MeasureFold:
+		return "fold"
+	case MeasureVector:
+		return "vector"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// MeasureSpec describes the measurement half of a control program.
+type MeasureSpec struct {
+	Mode   MeasureMode
+	Fold   *FoldSpec // Mode == MeasureFold
+	Fields []Field   // Mode == MeasureVector
+}
+
+// Instr is one control-program primitive (Table 2).
+type Instr interface {
+	instr()
+	String() string
+}
+
+// SetRate sets the pacing rate (bytes/sec) to the value of E.
+type SetRate struct{ E Expr }
+
+// SetCwnd sets the congestion window (bytes) to the value of E.
+type SetCwnd struct{ E Expr }
+
+// Wait pauses the program for Seconds (an expression, in seconds),
+// gathering measurements meanwhile.
+type Wait struct{ Seconds Expr }
+
+// WaitRtts pauses the program for Rtts round-trip times (WaitRtts(α) ==
+// Wait(α · srtt)).
+type WaitRtts struct{ Rtts Expr }
+
+// Report sends the gathered measurements to the CCP agent and, in fold
+// mode, resets the registers.
+type Report struct{}
+
+func (SetRate) instr()  {}
+func (SetCwnd) instr()  {}
+func (Wait) instr()     {}
+func (WaitRtts) instr() {}
+func (Report) instr()   {}
+
+func (i SetRate) String() string  { return fmt.Sprintf("Rate(%s)", i.E) }
+func (i SetCwnd) String() string  { return fmt.Sprintf("Cwnd(%s)", i.E) }
+func (i Wait) String() string     { return fmt.Sprintf("Wait(%s)", i.Seconds) }
+func (i WaitRtts) String() string { return fmt.Sprintf("WaitRtts(%s)", i.Rtts) }
+func (Report) String() string     { return "Report()" }
+
+// Program is a complete control program the agent installs into the
+// datapath: a measurement specification, an instruction sequence that loops
+// when it reaches the end (BBR's repeating pulse pattern relies on this),
+// and the urgency configuration for congestion signals.
+type Program struct {
+	Measure MeasureSpec
+	Instrs  []Instr
+	// UrgentECN reports ECN marks immediately instead of batching them.
+	// Loss (triple duplicate ACK) and timeouts are always urgent (§2.1).
+	UrgentECN bool
+}
+
+// Validate checks the program is well-formed and all expressions resolve.
+func (p *Program) Validate() error {
+	var regNames []string
+	switch p.Measure.Mode {
+	case MeasureEWMA:
+	case MeasureFold:
+		if p.Measure.Fold == nil {
+			return fmt.Errorf("lang: fold mode without a fold spec")
+		}
+		if err := p.Measure.Fold.Validate(); err != nil {
+			return err
+		}
+		regNames = p.Measure.Fold.RegNames()
+	case MeasureVector:
+		if len(p.Measure.Fields) == 0 {
+			return fmt.Errorf("lang: vector mode without fields")
+		}
+		for _, f := range p.Measure.Fields {
+			if f >= NumPktFields {
+				return fmt.Errorf("lang: invalid vector field %d", f)
+			}
+		}
+	default:
+		return fmt.Errorf("lang: invalid measure mode %d", p.Measure.Mode)
+	}
+	resolve := StdResolver(regNames)
+	check := func(e Expr) error {
+		if e == nil {
+			return fmt.Errorf("lang: nil expression in program")
+		}
+		for _, v := range Vars(e) {
+			if _, ok := resolve(v); !ok {
+				return fmt.Errorf("lang: program references unknown variable %q", v)
+			}
+		}
+		return nil
+	}
+	for _, in := range p.Instrs {
+		var err error
+		switch n := in.(type) {
+		case SetRate:
+			err = check(n.E)
+		case SetCwnd:
+			err = check(n.E)
+		case Wait:
+			err = check(n.Seconds)
+		case WaitRtts:
+			err = check(n.Rtts)
+		case Report:
+		default:
+			err = fmt.Errorf("lang: unknown instruction %T", in)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegNames returns the measurement field names a Report will carry, in
+// order: fold register names, vector field names, or the EWMA defaults.
+func (p *Program) RegNames() []string {
+	switch p.Measure.Mode {
+	case MeasureFold:
+		return p.Measure.Fold.RegNames()
+	case MeasureVector:
+		names := make([]string, len(p.Measure.Fields))
+		for i, f := range p.Measure.Fields {
+			names[i] = f.String()
+		}
+		return names
+	default:
+		return EWMAReportNames()
+	}
+}
+
+// String renders the program in the paper's dotted-call syntax.
+func (p *Program) String() string {
+	parts := make([]string, 0, len(p.Instrs)+1)
+	switch p.Measure.Mode {
+	case MeasureFold:
+		parts = append(parts, fmt.Sprintf("Measure(fold:%d regs)", len(p.Measure.Fold.Regs)))
+	case MeasureVector:
+		fields := make([]string, len(p.Measure.Fields))
+		for i, f := range p.Measure.Fields {
+			fields[i] = strings.TrimPrefix(f.String(), "pkt.")
+		}
+		parts = append(parts, fmt.Sprintf("Measure(%s)", strings.Join(fields, ", ")))
+	default:
+		parts = append(parts, "Measure(ewma)")
+	}
+	for _, in := range p.Instrs {
+		parts = append(parts, in.String())
+	}
+	return strings.Join(parts, ".")
+}
+
+// EWMA-mode report layout (§3 prototype): fixed names, in this order.
+const (
+	EWMARtt     = "rtt"      // EWMA-filtered RTT, seconds
+	EWMASndRate = "snd_rate" // EWMA sending rate, bytes/sec
+	EWMARcvRate = "rcv_rate" // EWMA delivery rate, bytes/sec
+	EWMAAcked   = "acked"    // bytes acked since last report
+	EWMALost    = "lost"     // bytes lost since last report
+	EWMAEcnFrac = "ecn_frac" // fraction of acked packets with CE marks
+	EWMALastRtt = "last_rtt" // most recent raw RTT sample, seconds
+)
+
+// EWMAReportNames returns the EWMA-mode report field names in order.
+func EWMAReportNames() []string {
+	return []string{EWMARtt, EWMASndRate, EWMARcvRate, EWMAAcked, EWMALost, EWMAEcnFrac, EWMALastRtt}
+}
+
+// Builder assembles a Program fluently, mirroring the paper's
+// Measure(...).Rate(...).WaitRtts(1.0).Report() notation.
+type Builder struct {
+	p   Program
+	err error
+}
+
+// NewProgram returns an empty Builder in EWMA measurement mode.
+func NewProgram() *Builder { return &Builder{} }
+
+// MeasureEWMA selects the default EWMA measurement mode.
+func (b *Builder) MeasureEWMA() *Builder {
+	b.p.Measure = MeasureSpec{Mode: MeasureEWMA}
+	return b
+}
+
+// MeasureFold selects fold-function measurement.
+func (b *Builder) MeasureFold(f *FoldSpec) *Builder {
+	b.p.Measure = MeasureSpec{Mode: MeasureFold, Fold: f}
+	return b
+}
+
+// MeasureVector selects per-packet vector measurement of the given fields.
+func (b *Builder) MeasureVector(fields ...Field) *Builder {
+	b.p.Measure = MeasureSpec{Mode: MeasureVector, Fields: fields}
+	return b
+}
+
+// Rate appends Rate(e).
+func (b *Builder) Rate(e Expr) *Builder {
+	b.p.Instrs = append(b.p.Instrs, SetRate{e})
+	return b
+}
+
+// Cwnd appends Cwnd(e).
+func (b *Builder) Cwnd(e Expr) *Builder {
+	b.p.Instrs = append(b.p.Instrs, SetCwnd{e})
+	return b
+}
+
+// Wait appends Wait(seconds).
+func (b *Builder) Wait(seconds float64) *Builder { return b.WaitExpr(C(seconds)) }
+
+// WaitExpr appends Wait(e) with e in seconds.
+func (b *Builder) WaitExpr(e Expr) *Builder {
+	b.p.Instrs = append(b.p.Instrs, Wait{e})
+	return b
+}
+
+// WaitRtts appends WaitRtts(alpha).
+func (b *Builder) WaitRtts(alpha float64) *Builder { return b.WaitRttsExpr(C(alpha)) }
+
+// WaitRttsExpr appends WaitRtts(e).
+func (b *Builder) WaitRttsExpr(e Expr) *Builder {
+	b.p.Instrs = append(b.p.Instrs, WaitRtts{e})
+	return b
+}
+
+// Report appends Report().
+func (b *Builder) Report() *Builder {
+	b.p.Instrs = append(b.p.Instrs, Report{})
+	return b
+}
+
+// UrgentECN marks ECN signals as urgent for this program.
+func (b *Builder) UrgentECN() *Builder {
+	b.p.UrgentECN = true
+	return b
+}
+
+// Build validates and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := b.p
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// MustBuild is Build for statically known-good programs; it panics on error.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

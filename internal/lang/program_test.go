@@ -1,0 +1,126 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// bbrProgram is the paper's §2.1 BBR pulse program.
+func bbrProgram(t *testing.T) *Program {
+	t.Helper()
+	p, err := NewProgram().
+		MeasureEWMA().
+		Rate(Mul(C(1.25), V("rate"))).WaitRtts(1).Report().
+		Rate(Mul(C(0.75), V("rate"))).WaitRtts(1).Report().
+		Rate(V("rate")).WaitRtts(6).Report().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuilderBBRProgram(t *testing.T) {
+	p := bbrProgram(t)
+	if len(p.Instrs) != 9 {
+		t.Fatalf("instrs=%d, want 9", len(p.Instrs))
+	}
+	if _, ok := p.Instrs[0].(SetRate); !ok {
+		t.Fatalf("first instr %T", p.Instrs[0])
+	}
+	if _, ok := p.Instrs[2].(Report); !ok {
+		t.Fatalf("third instr %T", p.Instrs[2])
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := bbrProgram(t)
+	s := p.String()
+	if !strings.Contains(s, "Rate((* 1.25 rate))") || !strings.Contains(s, "WaitRtts(6)") {
+		t.Fatalf("String()=%q", s)
+	}
+}
+
+func TestProgramValidateRejectsUnknownVar(t *testing.T) {
+	_, err := NewProgram().Rate(V("warp_factor")).Build()
+	if err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+}
+
+func TestProgramValidateFoldRegsVisible(t *testing.T) {
+	f := &FoldSpec{
+		Regs:    []RegDef{{Name: "acked_sum", Init: 0}},
+		Updates: []Assign{{Dst: "acked_sum", E: Add(V("acked_sum"), V("pkt.acked"))}},
+	}
+	_, err := NewProgram().
+		MeasureFold(f).
+		Cwnd(Add(V("cwnd"), V("acked_sum"))).
+		WaitRtts(1).Report().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramValidateVectorNeedsFields(t *testing.T) {
+	_, err := NewProgram().MeasureVector().Report().Build()
+	if err == nil {
+		t.Fatal("empty vector spec accepted")
+	}
+}
+
+func TestProgramValidateFoldNeedsSpec(t *testing.T) {
+	p := &Program{Measure: MeasureSpec{Mode: MeasureFold}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("fold mode without spec accepted")
+	}
+}
+
+func TestProgramValidateBadField(t *testing.T) {
+	p := &Program{Measure: MeasureSpec{Mode: MeasureVector, Fields: []Field{Field(200)}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("invalid field accepted")
+	}
+}
+
+func TestProgramRegNames(t *testing.T) {
+	p := bbrProgram(t)
+	names := p.RegNames()
+	if len(names) != len(EWMAReportNames()) {
+		t.Fatalf("ewma names=%v", names)
+	}
+	pv, err := NewProgram().MeasureVector(FieldRTT, FieldAcked).Report().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names = pv.RegNames()
+	if len(names) != 2 || names[0] != "pkt.rtt" || names[1] != "pkt.acked" {
+		t.Fatalf("vector names=%v", names)
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic")
+		}
+	}()
+	NewProgram().Rate(V("nope")).MustBuild()
+}
+
+func TestBuilderUrgentECN(t *testing.T) {
+	p, err := NewProgram().UrgentECN().Cwnd(V("cwnd")).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.UrgentECN {
+		t.Fatal("UrgentECN not set")
+	}
+}
+
+func TestMeasureModeString(t *testing.T) {
+	if MeasureEWMA.String() != "ewma" || MeasureFold.String() != "fold" || MeasureVector.String() != "vector" {
+		t.Fatal("mode names wrong")
+	}
+}

@@ -1,0 +1,171 @@
+package lang
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomProgram builds a structurally valid random program: random measure
+// mode (with a matching fold/vector spec) and a random instruction mix.
+func randomProgram(rng *rand.Rand) *Program {
+	p := &Program{}
+	var regNames []string
+	switch rng.Intn(3) {
+	case 0:
+		p.Measure = MeasureSpec{Mode: MeasureEWMA}
+	case 1:
+		nregs := 1 + rng.Intn(4)
+		fold := &FoldSpec{}
+		for i := 0; i < nregs; i++ {
+			name := string(rune('a'+i)) + "_reg"
+			fold.Regs = append(fold.Regs, RegDef{Name: name, Init: math.Trunc(rng.Float64()*100) / 2})
+			regNames = append(regNames, name)
+		}
+		nupd := 1 + rng.Intn(3)
+		for i := 0; i < nupd; i++ {
+			fold.Updates = append(fold.Updates, Assign{
+				Dst: regNames[rng.Intn(len(regNames))],
+				E:   randomExprOver(rng, 3, regNames),
+			})
+		}
+		p.Measure = MeasureSpec{Mode: MeasureFold, Fold: fold}
+	default:
+		nf := 1 + rng.Intn(int(NumPktFields))
+		for i := 0; i < nf; i++ {
+			p.Measure.Fields = append(p.Measure.Fields, Field(rng.Intn(int(NumPktFields))))
+		}
+		p.Measure.Mode = MeasureVector
+	}
+	ninstr := 1 + rng.Intn(8)
+	for i := 0; i < ninstr; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			p.Instrs = append(p.Instrs, SetRate{randomExprOver(rng, 3, regNames)})
+		case 1:
+			p.Instrs = append(p.Instrs, SetCwnd{randomExprOver(rng, 3, regNames)})
+		case 2:
+			p.Instrs = append(p.Instrs, Wait{Const(rng.Float64())})
+		case 3:
+			p.Instrs = append(p.Instrs, WaitRtts{Const(rng.Float64() * 8)})
+		default:
+			p.Instrs = append(p.Instrs, Report{})
+		}
+	}
+	p.UrgentECN = rng.Intn(2) == 0
+	return p
+}
+
+// randomExprOver builds a random expression over built-ins plus the given
+// register names.
+func randomExprOver(rng *rand.Rand, depth int, regs []string) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return Const(math.Trunc(rng.Float64()*100) / 4)
+		case 1:
+			if len(regs) > 0 && rng.Intn(2) == 0 {
+				return Var(regs[rng.Intn(len(regs))])
+			}
+			return Var(fieldNames[rng.Intn(int(NumPktFields))])
+		default:
+			return Var(flowVarNames[rng.Intn(int(NumFlowVars))])
+		}
+	}
+	if rng.Intn(6) == 0 {
+		return &If{
+			randomExprOver(rng, depth-1, regs),
+			randomExprOver(rng, depth-1, regs),
+			randomExprOver(rng, depth-1, regs),
+		}
+	}
+	return &Bin{
+		BinKind(rng.Intn(int(numBinKinds))),
+		randomExprOver(rng, depth-1, regs),
+		randomExprOver(rng, depth-1, regs),
+	}
+}
+
+func TestRandomProgramsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	valid := 0
+	for trial := 0; trial < 500; trial++ {
+		p := randomProgram(rng)
+		if err := p.Validate(); err != nil {
+			// Random vectors may duplicate fields etc.; only valid
+			// programs must round-trip.
+			continue
+		}
+		valid++
+		data, err := MarshalProgram(p)
+		if err != nil {
+			t.Fatalf("trial %d: marshal: %v", trial, err)
+		}
+		got, err := UnmarshalProgram(data)
+		if err != nil {
+			t.Fatalf("trial %d: unmarshal: %v\nprogram: %s", trial, err, p)
+		}
+		if !reflect.DeepEqual(p, got) {
+			t.Fatalf("trial %d: round trip mismatch:\n in:  %s\n out: %s", trial, p, got)
+		}
+	}
+	if valid < 400 {
+		t.Fatalf("only %d/500 generated programs were valid; generator too weak", valid)
+	}
+}
+
+func TestRandomProgramsCompileForDatapath(t *testing.T) {
+	// Every valid random program must be fully compilable the way the
+	// datapath compiles it: fold to bytecode plus every instruction
+	// expression against the fold's registers.
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 300; trial++ {
+		p := randomProgram(rng)
+		if err := p.Validate(); err != nil {
+			continue
+		}
+		var regNames []string
+		if p.Measure.Mode == MeasureFold {
+			cf, err := CompileFold(p.Measure.Fold)
+			if err != nil {
+				t.Fatalf("trial %d: fold compile: %v", trial, err)
+			}
+			regNames = p.Measure.Fold.RegNames()
+			// Folding random packets must not panic and registers must
+			// stay finite-or-zero (the VM squashes NaN/Inf).
+			vars := make([]float64, VarTableSize(cf.NumRegs()))
+			cf.InitRegs(vars)
+			for k := 0; k < 50; k++ {
+				vars[PktFieldSlot(FieldRTT)] = rng.Float64() / 10
+				vars[PktFieldSlot(FieldAcked)] = float64(rng.Intn(10000))
+				cf.Step(vars)
+			}
+			for i := 0; i < cf.NumRegs(); i++ {
+				v := vars[RegSlot(i)]
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("trial %d: register %d became %v", trial, i, v)
+				}
+			}
+		}
+		resolve := StdResolver(regNames)
+		for i, in := range p.Instrs {
+			var e Expr
+			switch n := in.(type) {
+			case SetRate:
+				e = n.E
+			case SetCwnd:
+				e = n.E
+			case Wait:
+				e = n.Seconds
+			case WaitRtts:
+				e = n.Rtts
+			case Report:
+				continue
+			}
+			if _, err := Compile(e, resolve); err != nil {
+				t.Fatalf("trial %d instr %d: %v", trial, i, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package lang
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary serialization of Programs for the agent→datapath Install message.
+// The format is versioned and self-delimiting; decoding is defensive (depth
+// and length limits) because the datapath must survive malformed input.
+
+const (
+	progMagic   = 0xCC
+	progVersion = 1
+
+	exprTagConst = 0x01
+	exprTagVar   = 0x02
+	exprTagBin   = 0x03
+	exprTagIf    = 0x04
+
+	instrTagRate     = 0x10
+	instrTagCwnd     = 0x11
+	instrTagWait     = 0x12
+	instrTagWaitRtts = 0x13
+	instrTagReport   = 0x14
+
+	maxNameLen   = 255
+	maxExprDepth = 64
+	maxListLen   = 4096
+)
+
+// MarshalProgram encodes p. The program should be Validate()d first; the
+// encoding itself does not re-validate semantics.
+func MarshalProgram(p *Program) ([]byte, error) {
+	var b []byte
+	b = append(b, progMagic, progVersion, byte(p.Measure.Mode))
+	switch p.Measure.Mode {
+	case MeasureEWMA:
+	case MeasureFold:
+		if p.Measure.Fold == nil {
+			return nil, fmt.Errorf("lang: fold mode without fold")
+		}
+		f := p.Measure.Fold
+		b = binary.AppendUvarint(b, uint64(len(f.Regs)))
+		for _, r := range f.Regs {
+			var err error
+			b, err = appendString(b, r.Name)
+			if err != nil {
+				return nil, err
+			}
+			b = appendF64(b, r.Init)
+		}
+		b = binary.AppendUvarint(b, uint64(len(f.Updates)))
+		for _, u := range f.Updates {
+			var err error
+			b, err = appendString(b, u.Dst)
+			if err != nil {
+				return nil, err
+			}
+			b, err = appendExpr(b, u.E)
+			if err != nil {
+				return nil, err
+			}
+		}
+	case MeasureVector:
+		b = binary.AppendUvarint(b, uint64(len(p.Measure.Fields)))
+		for _, f := range p.Measure.Fields {
+			b = append(b, byte(f))
+		}
+	default:
+		return nil, fmt.Errorf("lang: cannot marshal measure mode %d", p.Measure.Mode)
+	}
+	b = binary.AppendUvarint(b, uint64(len(p.Instrs)))
+	for _, in := range p.Instrs {
+		var err error
+		switch n := in.(type) {
+		case SetRate:
+			b = append(b, instrTagRate)
+			b, err = appendExpr(b, n.E)
+		case SetCwnd:
+			b = append(b, instrTagCwnd)
+			b, err = appendExpr(b, n.E)
+		case Wait:
+			b = append(b, instrTagWait)
+			b, err = appendExpr(b, n.Seconds)
+		case WaitRtts:
+			b = append(b, instrTagWaitRtts)
+			b, err = appendExpr(b, n.Rtts)
+		case Report:
+			b = append(b, instrTagReport)
+		default:
+			err = fmt.Errorf("lang: cannot marshal instruction %T", in)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	var flags byte
+	if p.UrgentECN {
+		flags |= 1
+	}
+	b = append(b, flags)
+	return b, nil
+}
+
+// UnmarshalProgram decodes and validates a program.
+func UnmarshalProgram(data []byte) (*Program, error) {
+	r := &reader{data: data}
+	if r.byte() != progMagic || r.byte() != progVersion {
+		return nil, fmt.Errorf("lang: bad program header")
+	}
+	p := &Program{}
+	p.Measure.Mode = MeasureMode(r.byte())
+	switch p.Measure.Mode {
+	case MeasureEWMA:
+	case MeasureFold:
+		f := &FoldSpec{}
+		nregs := r.listLen()
+		for i := 0; i < nregs && r.err == nil; i++ {
+			name := r.string()
+			init := r.f64()
+			f.Regs = append(f.Regs, RegDef{Name: name, Init: init})
+		}
+		nupd := r.listLen()
+		for i := 0; i < nupd && r.err == nil; i++ {
+			dst := r.string()
+			e := r.expr(0)
+			f.Updates = append(f.Updates, Assign{Dst: dst, E: e})
+		}
+		p.Measure.Fold = f
+	case MeasureVector:
+		n := r.listLen()
+		for i := 0; i < n && r.err == nil; i++ {
+			p.Measure.Fields = append(p.Measure.Fields, Field(r.byte()))
+		}
+	default:
+		return nil, fmt.Errorf("lang: bad measure mode %d", p.Measure.Mode)
+	}
+	ninstr := r.listLen()
+	for i := 0; i < ninstr && r.err == nil; i++ {
+		tag := r.byte()
+		switch tag {
+		case instrTagRate:
+			p.Instrs = append(p.Instrs, SetRate{r.expr(0)})
+		case instrTagCwnd:
+			p.Instrs = append(p.Instrs, SetCwnd{r.expr(0)})
+		case instrTagWait:
+			p.Instrs = append(p.Instrs, Wait{r.expr(0)})
+		case instrTagWaitRtts:
+			p.Instrs = append(p.Instrs, WaitRtts{r.expr(0)})
+		case instrTagReport:
+			p.Instrs = append(p.Instrs, Report{})
+		default:
+			r.fail(fmt.Errorf("lang: bad instruction tag 0x%02x", tag))
+		}
+	}
+	flags := r.byte()
+	p.UrgentECN = flags&1 != 0
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(r.data) {
+		return nil, fmt.Errorf("lang: %d trailing bytes in program", len(r.data)-r.pos)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func appendString(b []byte, s string) ([]byte, error) {
+	if len(s) > maxNameLen {
+		return nil, fmt.Errorf("lang: name too long (%d bytes)", len(s))
+	}
+	b = append(b, byte(len(s)))
+	return append(b, s...), nil
+}
+
+func appendF64(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func appendExpr(b []byte, e Expr) ([]byte, error) {
+	switch n := e.(type) {
+	case Const:
+		b = append(b, exprTagConst)
+		return appendF64(b, float64(n)), nil
+	case Var:
+		b = append(b, exprTagVar)
+		return appendString(b, string(n))
+	case *Bin:
+		b = append(b, exprTagBin, byte(n.Op))
+		var err error
+		if b, err = appendExpr(b, n.L); err != nil {
+			return nil, err
+		}
+		return appendExpr(b, n.R)
+	case *If:
+		b = append(b, exprTagIf)
+		var err error
+		if b, err = appendExpr(b, n.Cond); err != nil {
+			return nil, err
+		}
+		if b, err = appendExpr(b, n.Then); err != nil {
+			return nil, err
+		}
+		return appendExpr(b, n.Else)
+	case nil:
+		return nil, fmt.Errorf("lang: cannot marshal nil expression")
+	default:
+		return nil, fmt.Errorf("lang: cannot marshal expression %T", e)
+	}
+}
+
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.data) {
+		r.fail(fmt.Errorf("lang: truncated program"))
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *reader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+8 > len(r.data) {
+		r.fail(fmt.Errorf("lang: truncated float"))
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.pos:]))
+	r.pos += 8
+	return v
+}
+
+func (r *reader) string() string {
+	n := int(r.byte())
+	if r.err != nil {
+		return ""
+	}
+	if r.pos+n > len(r.data) {
+		r.fail(fmt.Errorf("lang: truncated string"))
+		return ""
+	}
+	s := string(r.data[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+func (r *reader) listLen() int {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 || v > maxListLen {
+		r.fail(fmt.Errorf("lang: bad list length"))
+		return 0
+	}
+	r.pos += n
+	return int(v)
+}
+
+func (r *reader) expr(depth int) Expr {
+	if r.err != nil {
+		return Const(0)
+	}
+	if depth > maxExprDepth {
+		r.fail(fmt.Errorf("lang: expression too deep"))
+		return Const(0)
+	}
+	switch tag := r.byte(); tag {
+	case exprTagConst:
+		return Const(r.f64())
+	case exprTagVar:
+		return Var(r.string())
+	case exprTagBin:
+		op := BinKind(r.byte())
+		if op >= numBinKinds {
+			r.fail(fmt.Errorf("lang: bad binary op %d", op))
+			return Const(0)
+		}
+		l := r.expr(depth + 1)
+		rr := r.expr(depth + 1)
+		return &Bin{op, l, rr}
+	case exprTagIf:
+		c := r.expr(depth + 1)
+		t := r.expr(depth + 1)
+		e := r.expr(depth + 1)
+		return &If{c, t, e}
+	default:
+		r.fail(fmt.Errorf("lang: bad expression tag 0x%02x", tag))
+		return Const(0)
+	}
+}

@@ -1,0 +1,56 @@
+package nativecc
+
+import (
+	"github.com/ccp-repro/ccp/internal/tcp"
+)
+
+// NewRenoStyle is NewReno as the paper's Figure 4 baseline: Reno congestion
+// avoidance with the window held at ssthresh throughout fast recovery. The
+// partial-ACK hole repair that distinguishes NewReno from Reno lives in the
+// datapath (internal/tcp), which retransmits one hole per partial ACK; this
+// module additionally avoids re-halving for loss events within one recovery
+// episode.
+type NewRenoStyle struct {
+	reno       Reno
+	inRecovery bool
+}
+
+// NewNewReno returns a NewReno congestion controller.
+func NewNewReno() *NewRenoStyle { return &NewRenoStyle{} }
+
+// Name implements tcp.CongestionControl.
+func (n *NewRenoStyle) Name() string { return "newreno" }
+
+// Init implements tcp.CongestionControl.
+func (n *NewRenoStyle) Init(c *tcp.Conn) {
+	n.reno.Init(c)
+	n.inRecovery = false
+}
+
+// OnAck implements tcp.CongestionControl.
+func (n *NewRenoStyle) OnAck(c *tcp.Conn, s tcp.AckSample) {
+	if n.inRecovery && !c.InRecovery() {
+		n.inRecovery = false
+	}
+	n.reno.OnAck(c, s)
+}
+
+// OnCongestion implements tcp.CongestionControl.
+func (n *NewRenoStyle) OnCongestion(c *tcp.Conn, ev tcp.CongEvent, lostBytes int) {
+	switch ev {
+	case tcp.EventDupAck:
+		if n.inRecovery {
+			return // one halving per recovery episode
+		}
+		n.inRecovery = true
+		n.reno.OnCongestion(c, ev, lostBytes)
+	case tcp.EventTimeout:
+		n.inRecovery = false
+		n.reno.OnCongestion(c, ev, lostBytes)
+	case tcp.EventECN:
+		n.reno.OnCongestion(c, ev, lostBytes)
+	}
+}
+
+// Close implements tcp.CongestionControl.
+func (n *NewRenoStyle) Close(c *tcp.Conn) {}

@@ -1,0 +1,82 @@
+// Package nativecc implements congestion control algorithms that run
+// *inside* the datapath, processing every ACK synchronously — the way the
+// Linux kernel implements them. They are the paper's baselines: Figures 3
+// and 4 compare CCP-based implementations against these.
+package nativecc
+
+import (
+	"github.com/ccp-repro/ccp/internal/tcp"
+)
+
+// Reno is classic AIMD congestion control: slow start to ssthresh,
+// additive increase of one segment per RTT, multiplicative decrease by half
+// on loss, collapse to one segment on timeout.
+type Reno struct {
+	ssthresh int // bytes
+	acked    int // byte accumulator for congestion avoidance
+}
+
+// NewReno-style recovery mechanics (fast retransmit, partial-ACK hole
+// repair) live in the datapath (internal/tcp); the distinction between Reno
+// and NewReno at the congestion-avoidance level is the window kept during
+// recovery, which both set to ssthresh = cwnd/2.
+
+// NewRenoCC returns a Reno congestion controller.
+func NewRenoCC() *Reno { return &Reno{} }
+
+// Name implements tcp.CongestionControl.
+func (r *Reno) Name() string { return "reno" }
+
+// Init implements tcp.CongestionControl.
+func (r *Reno) Init(c *tcp.Conn) {
+	r.ssthresh = 1 << 30
+	r.acked = 0
+}
+
+// OnAck implements tcp.CongestionControl.
+func (r *Reno) OnAck(c *tcp.Conn, s tcp.AckSample) {
+	if s.AckedBytes <= 0 || c.InRecovery() {
+		return
+	}
+	mss := c.MSS()
+	cwnd := c.Cwnd()
+	if cwnd < r.ssthresh {
+		// Slow start: one segment per acked segment.
+		c.SetCwnd(cwnd + s.AckedBytes)
+		return
+	}
+	// Congestion avoidance: one segment per window.
+	r.acked += s.AckedBytes
+	if r.acked >= cwnd {
+		r.acked -= cwnd
+		c.SetCwnd(cwnd + mss)
+	}
+}
+
+// OnCongestion implements tcp.CongestionControl.
+func (r *Reno) OnCongestion(c *tcp.Conn, ev tcp.CongEvent, lostBytes int) {
+	mss := c.MSS()
+	switch ev {
+	case tcp.EventDupAck:
+		r.ssthresh = maxInt(c.Cwnd()/2, 2*mss)
+		c.SetCwnd(r.ssthresh)
+	case tcp.EventTimeout:
+		r.ssthresh = maxInt(c.Cwnd()/2, 2*mss)
+		c.SetCwnd(mss)
+	case tcp.EventECN:
+		// Classic Reno treats ECN like loss once per window; keep the
+		// conservative halving.
+		r.ssthresh = maxInt(c.Cwnd()/2, 2*mss)
+		c.SetCwnd(r.ssthresh)
+	}
+}
+
+// Close implements tcp.CongestionControl.
+func (r *Reno) Close(c *tcp.Conn) {}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

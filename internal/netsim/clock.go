@@ -1,0 +1,37 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// RealClock is a Clock backed by the wall clock, for running the CCP agent
+// and datapath runtime over real transports (e.g. Unix sockets) outside the
+// simulator. Now is reported relative to the clock's creation.
+type RealClock struct {
+	epoch time.Time
+}
+
+// NewRealClock returns a wall-clock Clock with its epoch set to now.
+func NewRealClock() *RealClock {
+	return &RealClock{epoch: time.Now()}
+}
+
+// Now implements Clock.
+func (c *RealClock) Now() time.Duration { return time.Since(c.epoch) }
+
+// AfterFunc implements Clock using time.AfterFunc.
+func (c *RealClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return &realTimer{t: time.AfterFunc(d, fn)}
+}
+
+type realTimer struct {
+	mu sync.Mutex
+	t  *time.Timer
+}
+
+func (r *realTimer) Stop() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.t.Stop()
+}

@@ -1,0 +1,164 @@
+// Package netsim is a deterministic discrete-event network simulator. It
+// provides a virtual clock, an event queue, links with serialization and
+// propagation delay, and drop-tail queues with optional ECN marking. It is
+// the substrate on which the simulated datapath (internal/tcp) and all
+// simulation experiments run.
+//
+// Determinism: all randomness flows from the simulator's seeded RNG, and
+// events scheduled for the same instant run in scheduling order, so a run is
+// a pure function of its inputs.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Clock is the time source shared by the datapath and agent so that they run
+// unchanged under simulation (virtual time) and over real transports
+// (wall-clock time).
+type Clock interface {
+	// Now returns the time elapsed since the clock's epoch.
+	Now() time.Duration
+	// AfterFunc schedules fn to run after d. The returned timer can stop it.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Timer is a cancellable pending callback, analogous to *time.Timer.
+type Timer interface {
+	// Stop cancels the callback and reports whether it was still pending.
+	Stop() bool
+}
+
+// Sim is a discrete-event simulator. Create with New, schedule work with
+// Schedule/AfterFunc, and drive it with Run or Step. Sim is not safe for
+// concurrent use: everything runs on the caller's goroutine.
+type Sim struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	halted bool
+}
+
+// New returns a simulator whose randomness is seeded with seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time. Sim implements Clock.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand returns the simulator's seeded random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Schedule runs fn at the current time plus d. A negative d panics: the
+// simulator cannot travel backwards.
+func (s *Sim) Schedule(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("netsim: schedule in the past (d=%v)", d))
+	}
+	ev := &event{at: s.now + d, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// AfterFunc implements Clock; it is Schedule under the standard-library name.
+func (s *Sim) AfterFunc(d time.Duration, fn func()) Timer {
+	return s.Schedule(d, fn)
+}
+
+// Run executes events in time order until the event queue is empty, the
+// virtual clock passes until, or Halt is called. It returns the number of
+// events executed.
+func (s *Sim) Run(until time.Duration) int {
+	n := 0
+	s.halted = false
+	for len(s.events) > 0 && !s.halted {
+		ev := s.events[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&s.events)
+		if ev.stopped {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+		n++
+	}
+	if s.now < until && !s.halted {
+		// Advance the clock to the horizon even if events ran dry.
+		s.now = until
+	}
+	return n
+}
+
+// Step executes the single next pending event, if any, and reports whether
+// one ran.
+func (s *Sim) Step() bool {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.stopped {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Halt stops Run after the currently executing event returns.
+func (s *Sim) Halt() { s.halted = true }
+
+// Pending returns the number of scheduled (possibly stopped) events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+type event struct {
+	at      time.Duration
+	seq     uint64
+	fn      func()
+	stopped bool
+	index   int
+}
+
+// Stop implements Timer.
+func (e *event) Stop() bool {
+	if e.stopped {
+		return false
+	}
+	e.stopped = true
+	return true
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

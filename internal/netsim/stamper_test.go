@@ -1,0 +1,76 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFairStamperStampsDataPackets(t *testing.T) {
+	s := New(1)
+	dst := &collect{sim: s}
+	// 8 Mbit/s = 1e6 bytes/sec capacity.
+	l := NewLink(s, LinkConfig{RateBps: 8e6, Delay: 0}, dst)
+	NewFairStamper(l)
+	for i := 0; i < 10; i++ {
+		l.Enqueue(mkPkt(1, 960))
+	}
+	s.Run(time.Second)
+	for i, p := range dst.pkts {
+		if p.HdrRate <= 0 {
+			t.Fatalf("packet %d unstamped", i)
+		}
+		// Single flow: the share is the (possibly shaded) full capacity.
+		if p.HdrRate > 1e6 || p.HdrRate < 0.8e6 {
+			t.Fatalf("packet %d share=%v, want ~1e6", i, p.HdrRate)
+		}
+	}
+}
+
+func TestFairStamperSplitsAcrossFlows(t *testing.T) {
+	s := New(1)
+	dst := &collect{sim: s}
+	l := NewLink(s, LinkConfig{RateBps: 8e6, Delay: 0, QueueBytes: 1 << 22}, dst)
+	st := NewFairStamper(l)
+	st.FlowCount() // exercise accessor
+	// Interleave two flows past the accounting window (64 dequeues).
+	for i := 0; i < 200; i++ {
+		l.Enqueue(mkPkt(FlowID(1+i%2), 960))
+	}
+	s.Run(time.Second)
+	if st.FlowCount() != 2 {
+		t.Fatalf("flow count=%d, want 2", st.FlowCount())
+	}
+	// After the first window, stamps reflect a half share.
+	last := dst.pkts[len(dst.pkts)-1]
+	if last.HdrRate > 0.55e6 || last.HdrRate < 0.4e6 {
+		t.Fatalf("late stamp %v, want ~0.5e6", last.HdrRate)
+	}
+}
+
+func TestFairStamperIgnoresAcks(t *testing.T) {
+	s := New(1)
+	dst := &collect{sim: s}
+	l := NewLink(s, LinkConfig{RateBps: 8e6, Delay: 0}, dst)
+	NewFairStamper(l)
+	l.Enqueue(&Packet{Flow: 1, IsAck: true})
+	s.Run(time.Second)
+	if dst.pkts[0].HdrRate != 0 {
+		t.Fatal("ACK was stamped")
+	}
+}
+
+func TestFairStamperShadesUnderBacklog(t *testing.T) {
+	s := New(1)
+	dst := &collect{sim: s}
+	l := NewLink(s, LinkConfig{RateBps: 8e6, Delay: 0, QueueBytes: 1 << 22}, dst)
+	NewFairStamper(l)
+	// A deep standing queue: stamps shade below the full share.
+	for i := 0; i < 50; i++ {
+		l.Enqueue(mkPkt(1, 960))
+	}
+	s.Run(time.Second)
+	early := dst.pkts[1] // queue standing behind it
+	if early.HdrRate >= 1e6 {
+		t.Fatalf("backlogged stamp %v not shaded below capacity", early.HdrRate)
+	}
+}

@@ -1,0 +1,198 @@
+// Package offload models NIC offloads and endpoint CPU costs for the
+// Figure 5 reproduction ("Will CCP waste CPU cycles?").
+//
+// The paper measured achieved throughput on a real 10 Gbit/s testbed with
+// TSO/GSO/GRO enabled and disabled. We cannot measure a NIC, so we combine
+// two ingredients with the same mechanics:
+//
+//   - the packet-level simulation supplies the *traffic shape* — how many
+//     wire packets each side handles (TSO batches segments at the sender)
+//     and how well receive aggregation works (a GRO counter merges
+//     back-to-back arrivals, so burstier senders yield fewer, larger
+//     batches — the effect the paper credits for CCP's edge with TSO off);
+//   - a first-order cycle-cost model converts those counts into per-second
+//     CPU demand and caps throughput at what the budgeted cores can sustain.
+//
+// Achieved throughput is min(simulated link throughput, sender CPU cap,
+// receiver CPU cap), averaged over runs exactly as Figure 5 averages four.
+package offload
+
+import (
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/netsim"
+)
+
+// CostModel holds per-operation cycle costs and per-endpoint budgets.
+// Values are loosely calibrated to mid-2010s server cores (~3 GHz, one core
+// per endpoint for networking), which is all Figure 5's *shape* needs.
+type CostModel struct {
+	SenderBudget   float64 // cycles/sec available for TX processing
+	ReceiverBudget float64 // cycles/sec available for RX processing
+
+	CostPerSegment float64 // software segmentation per MSS (GSO off)
+	CostPerWirePkt float64 // descriptor + doorbell + completion per TX packet
+	CostPerAckRcvd float64 // ACK processing at the sender
+	CostCCNative   float64 // in-datapath congestion control per ACK
+	CostCCPPerAck  float64 // CCP fold/EWMA update per ACK
+	CostIPCMsg     float64 // one agent message (syscall + copy + wakeup amortized)
+	CostRxBatch    float64 // per GRO batch delivered up the receive stack
+	CostRxWirePkt  float64 // per wire packet touched at the receiver NIC/driver
+	CostAckSent    float64 // building + sending one ACK
+}
+
+// DefaultCosts returns the calibrated model. The budgets correspond to one
+// ~2 GHz core per endpoint devoted to networking — the regime where running
+// a 10 Gbit/s stream without segmentation offload is genuinely CPU-bound,
+// as on the paper's testbed.
+func DefaultCosts() CostModel {
+	return CostModel{
+		SenderBudget:   2.2e9,
+		ReceiverBudget: 2.2e9,
+		CostPerSegment: 300,
+		CostPerWirePkt: 2200,
+		CostPerAckRcvd: 1200,
+		CostCCNative:   250,
+		CostCCPPerAck:  120,
+		CostIPCMsg:     4000,
+		CostRxBatch:    2800,
+		CostRxWirePkt:  350,
+		CostAckSent:    900,
+	}
+}
+
+// Counts aggregates what one simulated run did, gathered from the tcp and
+// datapath counters plus a GROCounter.
+type Counts struct {
+	Duration     time.Duration
+	PayloadBytes int64 // bytes delivered in order
+
+	// Sender side.
+	SegsSent  int
+	PktsSent  int
+	AcksRcvd  int
+	AgentMsgs int  // CCP messages in both directions (0 for native)
+	CCP       bool // congestion control ran off-datapath
+
+	// Receiver side.
+	RxWirePkts int
+	RxBatches  int // GRO batches (== RxWirePkts when GRO is off)
+	AcksSent   int
+}
+
+// Result is one Figure 5 bar.
+type Result struct {
+	MeasuredBps float64 // simulated goodput, bits/sec
+	SenderCPU   float64 // fraction of the sender budget consumed at MeasuredBps
+	ReceiverCPU float64 // fraction of the receiver budget
+	AchievedBps float64 // throughput after CPU caps, bits/sec
+}
+
+// Evaluate applies the cost model to a run.
+func (m CostModel) Evaluate(c Counts) Result {
+	secs := c.Duration.Seconds()
+	if secs <= 0 {
+		return Result{}
+	}
+	measured := float64(c.PayloadBytes) * 8 / secs
+
+	ccCost := m.CostCCNative
+	if c.CCP {
+		ccCost = m.CostCCPPerAck
+	}
+	txCycles := float64(c.SegsSent)*m.CostPerSegment +
+		float64(c.PktsSent)*m.CostPerWirePkt +
+		float64(c.AcksRcvd)*(m.CostPerAckRcvd+ccCost) +
+		float64(c.AgentMsgs)*m.CostIPCMsg
+	rxCycles := float64(c.RxWirePkts)*m.CostRxWirePkt +
+		float64(c.RxBatches)*m.CostRxBatch +
+		float64(c.AcksSent)*m.CostAckSent
+
+	txLoad := txCycles / secs / m.SenderBudget
+	rxLoad := rxCycles / secs / m.ReceiverBudget
+
+	achieved := measured
+	if txLoad > 1 {
+		if cap := measured / txLoad; cap < achieved {
+			achieved = cap
+		}
+	}
+	if rxLoad > 1 {
+		if cap := measured / rxLoad; cap < achieved {
+			achieved = cap
+		}
+	}
+	return Result{
+		MeasuredBps: measured,
+		SenderCPU:   txLoad,
+		ReceiverCPU: rxLoad,
+		AchievedBps: achieved,
+	}
+}
+
+// GROCounter observes the receive path and counts GRO batches: consecutive
+// data packets of one flow arriving within Timeout of each other merge into
+// a batch of up to MaxSegs segments. Insert it between the demux and the
+// tcp.Receiver.
+type GROCounter struct {
+	Next    netsim.Handler
+	Clock   interface{ Now() time.Duration }
+	Timeout time.Duration
+	MaxSegs int
+
+	Enabled bool
+
+	batches int
+	pkts    int
+	lastAt  time.Duration
+	curSegs int
+	started bool
+}
+
+// NewGROCounter wraps next with batch accounting. When enabled is false,
+// every packet counts as its own batch (GRO off).
+func NewGROCounter(clock interface{ Now() time.Duration }, next netsim.Handler, enabled bool) *GROCounter {
+	return &GROCounter{
+		Next:    next,
+		Clock:   clock,
+		Timeout: 30 * time.Microsecond, // ~2 NAPI poll intervals at 10G
+		MaxSegs: 45,                    // 64 KiB / 1448
+		Enabled: enabled,
+	}
+}
+
+// Handle implements netsim.Handler.
+func (g *GROCounter) Handle(p *netsim.Packet) {
+	if !p.IsAck {
+		g.pkts++
+		segs := p.Segs
+		if segs <= 0 {
+			segs = 1
+		}
+		now := g.Clock.Now()
+		if !g.Enabled {
+			g.batches++
+		} else if !g.started || now-g.lastAt > g.Timeout || g.curSegs+segs > g.MaxSegs {
+			g.batches++
+			g.curSegs = 0
+		}
+		g.curSegs += segs
+		g.lastAt = now
+		g.started = true
+	}
+	g.Next.Handle(p)
+}
+
+// Batches returns the number of GRO batches observed.
+func (g *GROCounter) Batches() int { return g.batches }
+
+// Pkts returns the number of data packets observed.
+func (g *GROCounter) Pkts() int { return g.pkts }
+
+// MeanBatchSegs returns average segments per batch.
+func (g *GROCounter) MeanBatchSegs(totalSegs int) float64 {
+	if g.batches == 0 {
+		return 0
+	}
+	return float64(totalSegs) / float64(g.batches)
+}

@@ -1,0 +1,162 @@
+package offload
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/netsim"
+)
+
+func TestEvaluateUncappedWhenCheap(t *testing.T) {
+	m := DefaultCosts()
+	c := Counts{
+		Duration:     time.Second,
+		PayloadBytes: 1e9, // 8 Gbit/s
+		SegsSent:     700000,
+		PktsSent:     16000, // TSO: ~44 segs per packet
+		AcksRcvd:     16000,
+		RxWirePkts:   16000,
+		RxBatches:    16000,
+		AcksSent:     16000,
+	}
+	r := m.Evaluate(c)
+	if r.AchievedBps != r.MeasuredBps {
+		t.Fatalf("capped despite cheap offloaded path: %+v", r)
+	}
+	if r.SenderCPU > 0.5 || r.ReceiverCPU > 0.5 {
+		t.Fatalf("offloaded path too expensive: %+v", r)
+	}
+}
+
+func TestEvaluateCapsWhenExpensive(t *testing.T) {
+	m := DefaultCosts()
+	c := Counts{
+		Duration:     time.Second,
+		PayloadBytes: 1.25e9, // 10 Gbit/s attempted
+		SegsSent:     864000,
+		PktsSent:     864000, // TSO off: one wire packet per segment
+		AcksRcvd:     864000,
+		RxWirePkts:   864000,
+		RxBatches:    864000, // GRO off
+		AcksSent:     864000,
+	}
+	r := m.Evaluate(c)
+	if r.SenderCPU <= 1 {
+		t.Fatalf("sender should be CPU-bound: %+v", r)
+	}
+	if r.AchievedBps >= r.MeasuredBps {
+		t.Fatalf("no cap applied: %+v", r)
+	}
+	if r.AchievedBps <= 0 {
+		t.Fatalf("achieved must stay positive: %+v", r)
+	}
+}
+
+func TestEvaluateCCPSavesSenderCycles(t *testing.T) {
+	m := DefaultCosts()
+	base := Counts{
+		Duration:     time.Second,
+		PayloadBytes: 1.25e9,
+		SegsSent:     864000,
+		PktsSent:     864000,
+		AcksRcvd:     864000,
+		RxWirePkts:   864000,
+		RxBatches:    200000,
+		AcksSent:     864000,
+	}
+	native := m.Evaluate(base)
+	ccp := base
+	ccp.CCP = true
+	ccp.AgentMsgs = 200 // ~2/RTT at 10ms RTT over 1s
+	ccpRes := m.Evaluate(ccp)
+	if ccpRes.SenderCPU >= native.SenderCPU {
+		t.Fatalf("CCP per-ack path should be cheaper: ccp=%.3f native=%.3f",
+			ccpRes.SenderCPU, native.SenderCPU)
+	}
+}
+
+func TestEvaluateZeroDuration(t *testing.T) {
+	if r := DefaultCosts().Evaluate(Counts{}); r != (Result{}) {
+		t.Fatalf("zero run should be zero: %+v", r)
+	}
+}
+
+type sink struct{ pkts int }
+
+func (s *sink) Handle(p *netsim.Packet) { s.pkts++ }
+
+func TestGROCounterMergesBursts(t *testing.T) {
+	sim := netsim.New(1)
+	s := &sink{}
+	g := NewGROCounter(sim, s, true)
+	mk := func() *netsim.Packet { return &netsim.Packet{Len: 1448, Segs: 1} }
+
+	// Burst of 5 back-to-back packets: one batch.
+	for i := 0; i < 5; i++ {
+		g.Handle(mk())
+	}
+	if g.Batches() != 1 {
+		t.Fatalf("burst batches=%d, want 1", g.Batches())
+	}
+	// A packet after a long gap starts a new batch.
+	sim.Schedule(time.Millisecond, func() { g.Handle(mk()) })
+	sim.Run(time.Second)
+	if g.Batches() != 2 {
+		t.Fatalf("after gap batches=%d, want 2", g.Batches())
+	}
+	if s.pkts != 6 || g.Pkts() != 6 {
+		t.Fatalf("forwarding broken: sink=%d counter=%d", s.pkts, g.Pkts())
+	}
+}
+
+func TestGROCounterRespectsMaxSegs(t *testing.T) {
+	sim := netsim.New(1)
+	g := NewGROCounter(sim, &sink{}, true)
+	g.MaxSegs = 4
+	for i := 0; i < 10; i++ {
+		g.Handle(&netsim.Packet{Len: 1448, Segs: 1})
+	}
+	// 10 segments at max 4/batch => 3 batches.
+	if g.Batches() != 3 {
+		t.Fatalf("batches=%d, want 3", g.Batches())
+	}
+}
+
+func TestGROCounterDisabled(t *testing.T) {
+	sim := netsim.New(1)
+	g := NewGROCounter(sim, &sink{}, false)
+	for i := 0; i < 7; i++ {
+		g.Handle(&netsim.Packet{Len: 1448, Segs: 1})
+	}
+	if g.Batches() != 7 {
+		t.Fatalf("disabled GRO batches=%d, want 7", g.Batches())
+	}
+}
+
+func TestGROCounterIgnoresAcks(t *testing.T) {
+	sim := netsim.New(1)
+	s := &sink{}
+	g := NewGROCounter(sim, s, true)
+	g.Handle(&netsim.Packet{IsAck: true})
+	if g.Batches() != 0 || g.Pkts() != 0 {
+		t.Fatal("ACK counted as data")
+	}
+	if s.pkts != 1 {
+		t.Fatal("ACK not forwarded")
+	}
+}
+
+func TestMeanBatchSegs(t *testing.T) {
+	sim := netsim.New(1)
+	g := NewGROCounter(sim, &sink{}, true)
+	for i := 0; i < 6; i++ {
+		g.Handle(&netsim.Packet{Len: 1448, Segs: 1})
+	}
+	if got := g.MeanBatchSegs(6); got != 6 {
+		t.Fatalf("mean=%v", got)
+	}
+	empty := NewGROCounter(sim, &sink{}, true)
+	if empty.MeanBatchSegs(0) != 0 {
+		t.Fatal("empty mean not 0")
+	}
+}

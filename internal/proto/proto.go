@@ -1,0 +1,406 @@
+// Package proto defines the binary wire protocol spoken between CCP
+// datapaths and the CCP agent (Figure 1's two arrows). It is deliberately
+// narrow — the paper's thesis is that this small message set suffices for a
+// wide range of congestion control algorithms:
+//
+//	datapath → agent: Create, Measurement, Vector, Urgent, Close
+//	agent → datapath: Install, SetCwnd, SetRate
+//
+// Messages are encoded little-endian with uvarint lengths; each Marshal
+// produces exactly one self-contained message (the transport adds framing).
+// Decoding is defensive: lengths are bounded and truncated input returns an
+// error, never a panic.
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// MsgType discriminates wire messages.
+type MsgType uint8
+
+// Wire message types.
+const (
+	TypeCreate MsgType = iota + 1
+	TypeMeasurement
+	TypeVector
+	TypeUrgent
+	TypeClose
+	TypeInstall
+	TypeSetCwnd
+	TypeSetRate
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case TypeCreate:
+		return "Create"
+	case TypeMeasurement:
+		return "Measurement"
+	case TypeVector:
+		return "Vector"
+	case TypeUrgent:
+		return "Urgent"
+	case TypeClose:
+		return "Close"
+	case TypeInstall:
+		return "Install"
+	case TypeSetCwnd:
+		return "SetCwnd"
+	case TypeSetRate:
+		return "SetRate"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Msg is any wire message.
+type Msg interface {
+	Type() MsgType
+	// SID returns the socket/flow id the message concerns.
+	FlowSID() uint32
+}
+
+// Create announces a new flow to the agent (triggering the algorithm's
+// Init handler).
+type Create struct {
+	SID      uint32
+	MSS      uint32
+	InitCwnd uint32 // bytes
+	SrcAddr  string
+	DstAddr  string
+	// Alg optionally requests a specific registered algorithm; empty means
+	// the agent's default.
+	Alg string
+}
+
+// Measurement is a batched fold/EWMA report: the values of the report
+// fields, in the installed program's register order.
+type Measurement struct {
+	SID    uint32
+	Seq    uint32 // report sequence number, per flow
+	Fields []float64
+}
+
+// Vector is a batched per-packet report: NumFields values per packet,
+// row-major, in the installed program's field order.
+type Vector struct {
+	SID       uint32
+	Seq       uint32
+	NumFields uint8
+	Data      []float64
+}
+
+// Rows returns the number of packets in the vector.
+func (v *Vector) Rows() int {
+	if v.NumFields == 0 {
+		return 0
+	}
+	return len(v.Data) / int(v.NumFields)
+}
+
+// Row returns the i-th packet's values (aliasing Data).
+func (v *Vector) Row(i int) []float64 {
+	n := int(v.NumFields)
+	return v.Data[i*n : (i+1)*n]
+}
+
+// UrgentKind classifies urgent datapath events (§2.1): signals important
+// enough to bypass batching.
+type UrgentKind uint8
+
+// Urgent event kinds.
+const (
+	UrgentDupAck  UrgentKind = iota + 1 // triple duplicate ACK (fast retransmit)
+	UrgentTimeout                       // retransmission timeout
+	UrgentECN                           // ECN mark (only if the program opts in)
+)
+
+func (k UrgentKind) String() string {
+	switch k {
+	case UrgentDupAck:
+		return "dupack"
+	case UrgentTimeout:
+		return "timeout"
+	case UrgentECN:
+		return "ecn"
+	}
+	return fmt.Sprintf("urgent(%d)", uint8(k))
+}
+
+// Urgent reports an urgent event immediately, outside the batching schedule.
+type Urgent struct {
+	SID   uint32
+	Kind  UrgentKind
+	Value float64 // bytes lost (dupack/timeout) or marks seen (ecn)
+}
+
+// Close announces flow teardown.
+type Close struct {
+	SID uint32
+}
+
+// Install carries a serialized lang.Program to the datapath.
+type Install struct {
+	SID  uint32
+	Prog []byte
+}
+
+// SetCwnd directly sets the congestion window (bytes). It is the degenerate
+// control program for datapaths without program executors.
+type SetCwnd struct {
+	SID   uint32
+	Bytes uint32
+}
+
+// SetRate directly sets the pacing rate (bytes/sec).
+type SetRate struct {
+	SID uint32
+	Bps float64
+}
+
+func (m *Create) Type() MsgType      { return TypeCreate }
+func (m *Measurement) Type() MsgType { return TypeMeasurement }
+func (m *Vector) Type() MsgType      { return TypeVector }
+func (m *Urgent) Type() MsgType      { return TypeUrgent }
+func (m *Close) Type() MsgType       { return TypeClose }
+func (m *Install) Type() MsgType     { return TypeInstall }
+func (m *SetCwnd) Type() MsgType     { return TypeSetCwnd }
+func (m *SetRate) Type() MsgType     { return TypeSetRate }
+
+func (m *Create) FlowSID() uint32      { return m.SID }
+func (m *Measurement) FlowSID() uint32 { return m.SID }
+func (m *Vector) FlowSID() uint32      { return m.SID }
+func (m *Urgent) FlowSID() uint32      { return m.SID }
+func (m *Close) FlowSID() uint32       { return m.SID }
+func (m *Install) FlowSID() uint32     { return m.SID }
+func (m *SetCwnd) FlowSID() uint32     { return m.SID }
+func (m *SetRate) FlowSID() uint32     { return m.SID }
+
+// Limits bound decoder allocations against malformed input.
+const (
+	maxStringLen   = 255
+	maxFieldCount  = 1 << 12
+	maxVectorLen   = 1 << 20
+	maxProgramSize = 1 << 16
+)
+
+// Marshal encodes m as one self-contained message.
+func Marshal(m Msg) ([]byte, error) {
+	return AppendMarshal(nil, m)
+}
+
+// AppendMarshal encodes m, appending to dst.
+func AppendMarshal(dst []byte, m Msg) ([]byte, error) {
+	b := append(dst, byte(m.Type()))
+	switch v := m.(type) {
+	case *Create:
+		b = binary.LittleEndian.AppendUint32(b, v.SID)
+		b = binary.LittleEndian.AppendUint32(b, v.MSS)
+		b = binary.LittleEndian.AppendUint32(b, v.InitCwnd)
+		var err error
+		if b, err = appendStr(b, v.SrcAddr); err != nil {
+			return nil, err
+		}
+		if b, err = appendStr(b, v.DstAddr); err != nil {
+			return nil, err
+		}
+		if b, err = appendStr(b, v.Alg); err != nil {
+			return nil, err
+		}
+	case *Measurement:
+		if len(v.Fields) > maxFieldCount {
+			return nil, fmt.Errorf("proto: too many fields (%d)", len(v.Fields))
+		}
+		b = binary.LittleEndian.AppendUint32(b, v.SID)
+		b = binary.LittleEndian.AppendUint32(b, v.Seq)
+		b = binary.AppendUvarint(b, uint64(len(v.Fields)))
+		for _, f := range v.Fields {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+		}
+	case *Vector:
+		if len(v.Data) > maxVectorLen {
+			return nil, fmt.Errorf("proto: vector too large (%d)", len(v.Data))
+		}
+		if v.NumFields == 0 || len(v.Data)%int(v.NumFields) != 0 {
+			return nil, fmt.Errorf("proto: vector data (%d) not a multiple of fields (%d)", len(v.Data), v.NumFields)
+		}
+		b = binary.LittleEndian.AppendUint32(b, v.SID)
+		b = binary.LittleEndian.AppendUint32(b, v.Seq)
+		b = append(b, v.NumFields)
+		b = binary.AppendUvarint(b, uint64(len(v.Data)))
+		for _, f := range v.Data {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+		}
+	case *Urgent:
+		b = binary.LittleEndian.AppendUint32(b, v.SID)
+		b = append(b, byte(v.Kind))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Value))
+	case *Close:
+		b = binary.LittleEndian.AppendUint32(b, v.SID)
+	case *Install:
+		if len(v.Prog) > maxProgramSize {
+			return nil, fmt.Errorf("proto: program too large (%d bytes)", len(v.Prog))
+		}
+		b = binary.LittleEndian.AppendUint32(b, v.SID)
+		b = binary.AppendUvarint(b, uint64(len(v.Prog)))
+		b = append(b, v.Prog...)
+	case *SetCwnd:
+		b = binary.LittleEndian.AppendUint32(b, v.SID)
+		b = binary.LittleEndian.AppendUint32(b, v.Bytes)
+	case *SetRate:
+		b = binary.LittleEndian.AppendUint32(b, v.SID)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Bps))
+	default:
+		return nil, fmt.Errorf("proto: cannot marshal %T", m)
+	}
+	return b, nil
+}
+
+// Unmarshal decodes one message.
+func Unmarshal(data []byte) (Msg, error) {
+	d := &decoder{data: data}
+	t := MsgType(d.byte())
+	var m Msg
+	switch t {
+	case TypeCreate:
+		v := &Create{SID: d.u32(), MSS: d.u32(), InitCwnd: d.u32()}
+		v.SrcAddr = d.str()
+		v.DstAddr = d.str()
+		v.Alg = d.str()
+		m = v
+	case TypeMeasurement:
+		v := &Measurement{SID: d.u32(), Seq: d.u32()}
+		n := d.length(maxFieldCount)
+		if d.err == nil && n > 0 {
+			v.Fields = make([]float64, n)
+			for i := range v.Fields {
+				v.Fields[i] = d.f64()
+			}
+		}
+		m = v
+	case TypeVector:
+		v := &Vector{SID: d.u32(), Seq: d.u32(), NumFields: d.byte()}
+		n := d.length(maxVectorLen)
+		if d.err == nil {
+			if v.NumFields == 0 || n%int(v.NumFields) != 0 {
+				return nil, fmt.Errorf("proto: vector shape %d x %d invalid", n, v.NumFields)
+			}
+			v.Data = make([]float64, n)
+			for i := range v.Data {
+				v.Data[i] = d.f64()
+			}
+		}
+		m = v
+	case TypeUrgent:
+		m = &Urgent{SID: d.u32(), Kind: UrgentKind(d.byte()), Value: d.f64()}
+	case TypeClose:
+		m = &Close{SID: d.u32()}
+	case TypeInstall:
+		v := &Install{SID: d.u32()}
+		n := d.length(maxProgramSize)
+		v.Prog = d.bytes(n)
+		m = v
+	case TypeSetCwnd:
+		m = &SetCwnd{SID: d.u32(), Bytes: d.u32()}
+	case TypeSetRate:
+		m = &SetRate{SID: d.u32(), Bps: d.f64()}
+	default:
+		return nil, fmt.Errorf("proto: unknown message type %d", t)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(d.data) {
+		return nil, fmt.Errorf("proto: %d trailing bytes after %s", len(d.data)-d.pos, t)
+	}
+	return m, nil
+}
+
+type decoder struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("proto: truncated message")
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || d.pos >= len(d.data) {
+		d.fail()
+		return 0
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.pos+4 > len(d.data) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.data[d.pos:])
+	d.pos += 4
+	return v
+}
+
+func (d *decoder) f64() float64 {
+	if d.err != nil || d.pos+8 > len(d.data) {
+		d.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data[d.pos:]))
+	d.pos += 8
+	return v
+}
+
+func (d *decoder) length(max int) int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 || v > uint64(max) {
+		if d.err == nil {
+			d.err = fmt.Errorf("proto: bad length")
+		}
+		return 0
+	}
+	d.pos += n
+	return int(v)
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil || d.pos+n > len(d.data) {
+		d.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.data[d.pos:])
+	d.pos += n
+	return out
+}
+
+func (d *decoder) str() string {
+	n := int(d.byte())
+	if d.err != nil || d.pos+n > len(d.data) {
+		d.fail()
+		return ""
+	}
+	s := string(d.data[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+func appendStr(b []byte, s string) ([]byte, error) {
+	if len(s) > maxStringLen {
+		return nil, fmt.Errorf("proto: string too long (%d)", len(s))
+	}
+	b = append(b, byte(len(s)))
+	return append(b, s...), nil
+}

@@ -1,0 +1,203 @@
+package proto
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMsgs() []Msg {
+	return []Msg{
+		&Create{SID: 7, MSS: 1460, InitCwnd: 14600, SrcAddr: "10.0.0.1:4242", DstAddr: "10.0.0.2:80", Alg: "cubic"},
+		&Create{SID: 0},
+		&Measurement{SID: 1, Seq: 99, Fields: []float64{0.01, 2.5e6, 1.25e6, 14600, 0, 0.25, 0.012}},
+		&Measurement{SID: 2, Seq: 0, Fields: nil},
+		&Vector{SID: 3, Seq: 5, NumFields: 3, Data: []float64{1, 2, 3, 4, 5, 6}},
+		&Urgent{SID: 4, Kind: UrgentDupAck, Value: 2920},
+		&Urgent{SID: 4, Kind: UrgentTimeout, Value: 14600},
+		&Urgent{SID: 4, Kind: UrgentECN, Value: 3},
+		&Close{SID: 5},
+		&Install{SID: 6, Prog: []byte{0xCC, 1, 0, 1, 0x14, 0}},
+		&Install{SID: 6, Prog: nil},
+		&SetCwnd{SID: 8, Bytes: 29200},
+		&SetRate{SID: 9, Bps: 1.25e9},
+	}
+}
+
+func TestRoundTripAll(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		data, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		// nil and empty slices compare unequal under DeepEqual; normalize.
+		if v, ok := got.(*Measurement); ok && len(v.Fields) == 0 {
+			v.Fields = nil
+		}
+		if v, ok := got.(*Install); ok && len(v.Prog) == 0 {
+			v.Prog = nil
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("round trip mismatch:\n in:  %#v\n out: %#v", m, got)
+		}
+	}
+}
+
+func TestTypeAndSID(t *testing.T) {
+	wantTypes := []MsgType{
+		TypeCreate, TypeCreate, TypeMeasurement, TypeMeasurement, TypeVector,
+		TypeUrgent, TypeUrgent, TypeUrgent, TypeClose, TypeInstall, TypeInstall,
+		TypeSetCwnd, TypeSetRate,
+	}
+	for i, m := range sampleMsgs() {
+		if m.Type() != wantTypes[i] {
+			t.Errorf("msg %d: type=%v, want %v", i, m.Type(), wantTypes[i])
+		}
+	}
+	if (&SetRate{SID: 42}).FlowSID() != 42 {
+		t.Error("FlowSID wrong")
+	}
+}
+
+func TestVectorRows(t *testing.T) {
+	v := &Vector{NumFields: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	if v.Rows() != 2 {
+		t.Fatalf("rows=%d", v.Rows())
+	}
+	r := v.Row(1)
+	if len(r) != 3 || r[0] != 4 || r[2] != 6 {
+		t.Fatalf("row=%v", r)
+	}
+	empty := &Vector{}
+	if empty.Rows() != 0 {
+		t.Fatal("empty vector rows != 0")
+	}
+}
+
+func TestMarshalRejectsBadVectorShape(t *testing.T) {
+	if _, err := Marshal(&Vector{NumFields: 3, Data: []float64{1, 2}}); err == nil {
+		t.Fatal("ragged vector marshalled")
+	}
+	if _, err := Marshal(&Vector{NumFields: 0, Data: []float64{1}}); err == nil {
+		t.Fatal("zero-field vector marshalled")
+	}
+}
+
+func TestMarshalRejectsOversize(t *testing.T) {
+	big := make([]float64, maxFieldCount+1)
+	if _, err := Marshal(&Measurement{Fields: big}); err == nil {
+		t.Fatal("oversized measurement marshalled")
+	}
+	bigProg := make([]byte, maxProgramSize+1)
+	if _, err := Marshal(&Install{Prog: bigProg}); err == nil {
+		t.Fatal("oversized program marshalled")
+	}
+	long := make([]byte, 300)
+	if _, err := Marshal(&Create{SrcAddr: string(long)}); err == nil {
+		t.Fatal("oversized string marshalled")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0},                         // type 0 invalid
+		{200},                       // unknown type
+		{byte(TypeCreate)},          // truncated
+		{byte(TypeSetCwnd), 1, 2},   // truncated u32
+		{byte(TypeUrgent), 1, 2, 3}, // truncated
+	}
+	for _, data := range cases {
+		if _, err := Unmarshal(data); err == nil {
+			t.Errorf("Unmarshal(%v) succeeded", data)
+		}
+	}
+}
+
+func TestUnmarshalTrailing(t *testing.T) {
+	data, err := Marshal(&Close{SID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(append(data, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestUnmarshalFuzzNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	bases := sampleMsgs()
+	for trial := 0; trial < 3000; trial++ {
+		base, err := Marshal(bases[rng.Intn(len(bases))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			base[rng.Intn(len(base))] = byte(rng.Intn(256))
+		}
+		if rng.Intn(3) == 0 {
+			base = base[:rng.Intn(len(base)+1)]
+		}
+		_, _ = Unmarshal(base) // must not panic
+	}
+}
+
+func TestQuickMeasurementRoundTrip(t *testing.T) {
+	f := func(sid, seq uint32, fields []float64) bool {
+		if len(fields) > maxFieldCount {
+			return true
+		}
+		m := &Measurement{SID: sid, Seq: seq, Fields: fields}
+		data, err := Marshal(m)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		gm := got.(*Measurement)
+		if gm.SID != sid || gm.Seq != seq || len(gm.Fields) != len(fields) {
+			return false
+		}
+		for i := range fields {
+			// NaN != NaN; compare bit patterns via equality on both-NaN.
+			if gm.Fields[i] != fields[i] && !(fields[i] != fields[i] && gm.Fields[i] != gm.Fields[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendMarshalAppends(t *testing.T) {
+	prefix := []byte{0xAA, 0xBB}
+	out, err := AppendMarshal(prefix, &Close{SID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0xAA || out[1] != 0xBB {
+		t.Fatal("prefix clobbered")
+	}
+	if _, err := Unmarshal(out[2:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if TypeMeasurement.String() != "Measurement" || UrgentTimeout.String() != "timeout" {
+		t.Fatal("String names wrong")
+	}
+	if MsgType(99).String() == "" || UrgentKind(99).String() == "" {
+		t.Fatal("unknown values should still format")
+	}
+}

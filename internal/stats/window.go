@@ -1,0 +1,71 @@
+package stats
+
+import "time"
+
+// WindowedMinMax tracks the minimum or maximum of a stream of samples over a
+// sliding time window, in O(1) amortized time per sample, using a monotonic
+// deque. It is the structure BBR-style algorithms use for windowed-max
+// bandwidth and windowed-min RTT filters.
+type WindowedMinMax struct {
+	window time.Duration
+	isMin  bool
+	q      []wmSample // monotonic: best at q[0]
+}
+
+type wmSample struct {
+	at time.Duration
+	v  float64
+}
+
+// NewWindowedMin returns a sliding-window minimum over the given window.
+func NewWindowedMin(window time.Duration) *WindowedMinMax {
+	return &WindowedMinMax{window: window, isMin: true}
+}
+
+// NewWindowedMax returns a sliding-window maximum over the given window.
+func NewWindowedMax(window time.Duration) *WindowedMinMax {
+	return &WindowedMinMax{window: window}
+}
+
+// Update folds in a sample observed at time now (monotonically
+// non-decreasing) and returns the current windowed value.
+func (w *WindowedMinMax) Update(now time.Duration, v float64) float64 {
+	// Drop dominated samples from the back.
+	for len(w.q) > 0 {
+		last := w.q[len(w.q)-1]
+		if (w.isMin && last.v >= v) || (!w.isMin && last.v <= v) {
+			w.q = w.q[:len(w.q)-1]
+		} else {
+			break
+		}
+	}
+	w.q = append(w.q, wmSample{at: now, v: v})
+	w.expire(now)
+	return w.q[0].v
+}
+
+// Value returns the current windowed value at time now, expiring stale
+// samples first. Returns 0 if the window is empty.
+func (w *WindowedMinMax) Value(now time.Duration) float64 {
+	w.expire(now)
+	if len(w.q) == 0 {
+		return 0
+	}
+	return w.q[0].v
+}
+
+// Empty reports whether no unexpired samples remain as of time now.
+func (w *WindowedMinMax) Empty(now time.Duration) bool {
+	w.expire(now)
+	return len(w.q) == 0
+}
+
+// Reset discards all samples.
+func (w *WindowedMinMax) Reset() { w.q = w.q[:0] }
+
+func (w *WindowedMinMax) expire(now time.Duration) {
+	cutoff := now - w.window
+	for len(w.q) > 1 && w.q[0].at < cutoff {
+		w.q = w.q[1:]
+	}
+}
