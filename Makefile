@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt examples experiments clean
+.PHONY: all build test test-short bench vet fmt check fuzz-smoke examples experiments clean
 
 all: build test
 
@@ -23,6 +23,20 @@ bench:
 
 vet:
 	$(GO) vet ./...
+
+# Pre-merge gate: vet, the race-enabled short test suite, and a short fuzz
+# pass over the wire-protocol decoders (the surface exposed to a faulty or
+# corrupting channel). ~2 minutes total.
+check: vet
+	$(GO) test -race -short ./...
+	$(MAKE) fuzz-smoke
+
+# 10-second smoke of each proto fuzz target; `go test -fuzz` accepts one
+# target per invocation. For a longer hunt, raise FUZZTIME.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzUnmarshal$$' -fuzztime=$(FUZZTIME) ./internal/proto
+	$(GO) test -run='^$$' -fuzz='^FuzzCreateRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/proto
 
 fmt:
 	gofmt -l -w .

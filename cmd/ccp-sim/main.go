@@ -24,7 +24,7 @@ var experimentOrder = []string{
 	"table1", "table2", "table3",
 	"fig2", "fig3", "fig4", "fig5",
 	"ablation-batching", "ablation-lowrtt", "ablation-foldvec",
-	"ablation-fallback", "ablation-urgent",
+	"ablation-fallback", "ablation-urgent", "ablation-chaos",
 	"ext-smooth", "ext-synthesis", "ext-group",
 }
 
@@ -111,6 +111,8 @@ func run(id string, scale float64, fig2Samples int, outDir string) error {
 		fmt.Println(experiments.AblFallback())
 	case "ablation-urgent":
 		fmt.Println(experiments.AblUrgent())
+	case "ablation-chaos":
+		fmt.Println(experiments.AblChaos())
 	case "ext-smooth":
 		fmt.Println(experiments.AblSmooth())
 	case "ext-synthesis":

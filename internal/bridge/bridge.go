@@ -32,7 +32,12 @@ type Bridge struct {
 	agent   *core.Agent
 	latency time.Duration
 	stopped bool
-	stats   Stats
+	// gen counts Stop calls. Deliveries capture the generation they were
+	// scheduled under and are discarded if a Stop intervened before they
+	// fire: a killed process loses its socket buffer, so messages already
+	// "in the kernel" at crash time must vanish with it.
+	gen   uint64
+	stats Stats
 }
 
 // New creates a bridge to agent with the given one-way IPC latency.
@@ -47,8 +52,12 @@ func (b *Bridge) Stats() Stats { return b.stats }
 func (b *Bridge) SetLatency(d time.Duration) { b.latency = d }
 
 // Stop makes the bridge drop all traffic in both directions, simulating an
-// agent crash. Resume with Start.
-func (b *Bridge) Stop() { b.stopped = true }
+// agent crash: future sends are dropped, and messages already scheduled for
+// delivery are discarded when they fire. Resume with Start.
+func (b *Bridge) Stop() {
+	b.stopped = true
+	b.gen++
+}
 
 // Start re-enables a stopped bridge (the agent process restarted).
 func (b *Bridge) Start() { b.stopped = false }
@@ -71,7 +80,11 @@ func (b *Bridge) DatapathSender(deliver func(proto.Msg)) func(proto.Msg) error {
 		}
 		b.stats.ToDpMsgs++
 		b.stats.ToDpBytes += int64(len(data))
+		gen := b.gen
 		b.sim.Schedule(b.latency, func() {
+			if b.stopped || b.gen != gen {
+				return // crashed while in flight
+			}
 			msg, err := proto.Unmarshal(data)
 			if err != nil {
 				b.stats.MarshalErrors++
@@ -92,7 +105,11 @@ func (b *Bridge) DatapathSender(deliver func(proto.Msg)) func(proto.Msg) error {
 		}
 		b.stats.ToAgentMsgs++
 		b.stats.ToAgentBytes += int64(len(data))
+		gen := b.gen
 		b.sim.Schedule(b.latency, func() {
+			if b.stopped || b.gen != gen {
+				return // crashed while in flight
+			}
 			msg, err := proto.Unmarshal(data)
 			if err != nil {
 				b.stats.MarshalErrors++

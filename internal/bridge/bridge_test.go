@@ -96,6 +96,59 @@ func TestBridgeStopDropsTraffic(t *testing.T) {
 	}
 }
 
+func TestBridgeStopDiscardsInFlight(t *testing.T) {
+	// Messages scheduled before Stop must not arrive after it: a killed
+	// process loses its socket buffer, so a "crash" discards in-flight
+	// deliveries even across a later restart.
+	sim := netsim.New(1)
+	alg := &echoAlg{}
+	agent := newAgent(t, alg)
+	b := bridge.New(sim, agent, 10*time.Millisecond)
+	var delivered int
+	send := b.DatapathSender(func(m proto.Msg) { delivered++ })
+
+	send(&proto.Create{SID: 1, MSS: 1448, InitCwnd: 14480}) // in flight at crash
+	sim.Schedule(1*time.Millisecond, b.Stop)
+	sim.Schedule(2*time.Millisecond, b.Start) // restart before delivery time
+	sim.Run(time.Second)
+	if alg.inits != 0 {
+		t.Fatalf("in-flight message survived the crash (inits=%d)", alg.inits)
+	}
+
+	// The restarted bridge still carries traffic.
+	send(&proto.Create{SID: 2, MSS: 1448, InitCwnd: 14480})
+	sim.Run(2 * time.Second)
+	if alg.inits != 1 {
+		t.Fatal("message not delivered after restart")
+	}
+	if delivered == 0 {
+		t.Fatal("no agent reply delivered after restart")
+	}
+}
+
+func TestBridgeStopDiscardsInFlightReplies(t *testing.T) {
+	// Same for the agent→datapath direction: a reply scheduled before the
+	// crash must not reach the datapath afterwards.
+	sim := netsim.New(1)
+	alg := &echoAlg{}
+	agent := newAgent(t, alg)
+	b := bridge.New(sim, agent, 10*time.Millisecond)
+	var delivered int
+	send := b.DatapathSender(func(m proto.Msg) { delivered++ })
+
+	send(&proto.Create{SID: 1, MSS: 1448, InitCwnd: 14480})
+	sim.Run(15 * time.Millisecond) // Create delivered; SetCwnd reply in flight
+	if alg.inits != 1 || delivered != 0 {
+		t.Fatalf("setup: inits=%d delivered=%d", alg.inits, delivered)
+	}
+	b.Stop()
+	b.Start()
+	sim.Run(time.Second)
+	if delivered != 0 {
+		t.Fatalf("in-flight reply survived the crash (delivered=%d)", delivered)
+	}
+}
+
 func TestBridgeSetLatency(t *testing.T) {
 	sim := netsim.New(1)
 	agent := newAgent(t, &echoAlg{})

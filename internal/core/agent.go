@@ -32,6 +32,15 @@ type AgentStats struct {
 	UnknownFlowMsg int
 	UnknownAlgReq  int
 	Errors         int
+	// DupCreates counts duplicated Create deliveries for a flow the agent
+	// already tracks (same announcement replayed by a faulty channel).
+	DupCreates int
+	// DupUrgents counts urgent events discarded because their sequence
+	// number had already been seen — a duplicated or reordered delivery.
+	DupUrgents int
+	// StaleReports counts measurements and vectors discarded because a newer
+	// report had already been processed.
+	StaleReports int
 }
 
 // Agent is the user-space congestion control plane: it multiplexes flows
@@ -50,6 +59,28 @@ type Agent struct {
 type flowState struct {
 	flow *Flow
 	alg  Alg
+	// createSeq is the Seq carried by the Create that made this state, used
+	// to recognize duplicated deliveries of the same announcement.
+	createSeq uint32
+	// lastReportSeq / lastUrgentSeq are the newest datapath-stamped sequence
+	// numbers processed, for discarding duplicated or reordered deliveries.
+	// Zero-Seq messages (unsequenced) bypass the checks.
+	lastReportSeq uint32
+	lastUrgentSeq uint32
+}
+
+// staleSeq reports whether a datapath-stamped sequence number has already
+// been seen, advancing *last when it is fresh. Seq 0 is unsequenced and
+// always fresh.
+func staleSeq(seq uint32, last *uint32) bool {
+	if seq == 0 {
+		return false
+	}
+	if !proto.SeqNewer(seq, *last) {
+		return true
+	}
+	*last = seq
+	return false
 }
 
 // NewAgent validates cfg and returns an agent.
@@ -92,6 +123,10 @@ func (a *Agent) HandleMessage(m proto.Msg, reply func(proto.Msg) error) {
 			a.stats.UnknownFlowMsg++
 			return
 		}
+		if staleSeq(v.Seq, &st.lastReportSeq) {
+			a.stats.StaleReports++
+			return
+		}
 		a.stats.Measurements++
 		st.flow.reports++
 		names := st.flow.reportNames()
@@ -101,6 +136,10 @@ func (a *Agent) HandleMessage(m proto.Msg, reply func(proto.Msg) error) {
 		st, ok := a.flows[v.SID]
 		if !ok {
 			a.stats.UnknownFlowMsg++
+			return
+		}
+		if staleSeq(v.Seq, &st.lastReportSeq) {
+			a.stats.StaleReports++
 			return
 		}
 		a.stats.Vectors++
@@ -117,6 +156,10 @@ func (a *Agent) HandleMessage(m proto.Msg, reply func(proto.Msg) error) {
 		st, ok := a.flows[v.SID]
 		if !ok {
 			a.stats.UnknownFlowMsg++
+			return
+		}
+		if staleSeq(v.Seq, &st.lastUrgentSeq) {
+			a.stats.DupUrgents++
 			return
 		}
 		a.stats.Urgents++
@@ -140,6 +183,14 @@ func (a *Agent) HandleMessage(m proto.Msg, reply func(proto.Msg) error) {
 }
 
 func (a *Agent) handleCreate(v *proto.Create, reply func(proto.Msg) error) {
+	// A faulty channel can deliver the same announcement twice; recreating
+	// the flow would discard live algorithm state, so replays of the Create
+	// this state was built from are ignored. (A Create with a *different*
+	// Seq is a real resync and does rebuild the flow.)
+	if old, exists := a.flows[v.SID]; exists && v.Seq != 0 && v.Seq == old.createSeq {
+		a.stats.DupCreates++
+		return
+	}
 	name := v.Alg
 	if name == "" {
 		name = a.cfg.DefaultAlg
@@ -163,14 +214,17 @@ func (a *Agent) handleCreate(v *proto.Create, reply func(proto.Msg) error) {
 	if a.cfg.Policy != nil {
 		policy = a.cfg.Policy(info)
 	}
-	flow := &Flow{Info: info, policy: policy, send: reply}
-	// Replacing an existing SID (datapath restart) releases the old state.
+	// The Create's Seq is the newest control sequence the datapath has
+	// applied (nonzero on resync); the flow numbers its decisions above it.
+	flow := &Flow{Info: info, policy: policy, send: reply, ctrlSeq: v.Seq}
+	// Replacing an existing SID (datapath restart or resync) releases the
+	// old state.
 	if old, exists := a.flows[v.SID]; exists {
 		if r, ok := old.alg.(Releaser); ok {
 			r.Release(old.flow)
 		}
 	}
-	a.flows[v.SID] = &flowState{flow: flow, alg: alg}
+	a.flows[v.SID] = &flowState{flow: flow, alg: alg, createSeq: v.Seq}
 	a.stats.FlowsCreated++
 	alg.Init(flow)
 }

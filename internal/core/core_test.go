@@ -344,3 +344,133 @@ func TestDescribeCapturesPrograms(t *testing.T) {
 		t.Fatalf("direct=%v", direct)
 	}
 }
+
+func TestFlowStampsControlSequence(t *testing.T) {
+	// Install, SetCwnd, and SetRate share one ascending sequence space so
+	// the datapath can discard reordered copies of superseded decisions.
+	cap := &capture{}
+	f := &Flow{Info: FlowInfo{SID: 1, MSS: 1448}, send: cap.send}
+	if err := f.Install(lang.NewProgram().Cwnd(lang.C(10000)).WaitRtts(1).MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	f.SetCwnd(5000)
+	f.SetRate(1e6)
+	want := []uint32{1, 2, 3}
+	for i, m := range cap.msgs {
+		var got uint32
+		switch v := m.(type) {
+		case *proto.Install:
+			got = v.Seq
+		case *proto.SetCwnd:
+			got = v.Seq
+		case *proto.SetRate:
+			got = v.Seq
+		}
+		if got != want[i] {
+			t.Fatalf("msg %d (%T) seq=%d want %d", i, m, got, want[i])
+		}
+	}
+}
+
+func TestFlowSequenceResumesFromCreate(t *testing.T) {
+	// A resync Create carries the datapath's newest applied sequence; the
+	// (possibly restarted) agent must number its decisions above it, or
+	// everything it sends would look stale.
+	alg := &recordAlg{}
+	a := newTestAgent(t, alg, nil)
+	cap := &capture{}
+	c := createMsg(1)
+	c.Seq = 1042
+	a.HandleMessage(c, cap.send)
+	st := a.flows[1]
+	st.flow.SetCwnd(5000)
+	sc := cap.msgs[len(cap.msgs)-1].(*proto.SetCwnd)
+	if sc.Seq != 1043 {
+		t.Fatalf("seq=%d, want 1043 (resume above Create's 1042)", sc.Seq)
+	}
+}
+
+func TestNextSeqSkipsZeroOnWrap(t *testing.T) {
+	f := &Flow{ctrlSeq: ^uint32(0) - 1}
+	if s := f.nextSeq(); s != ^uint32(0) {
+		t.Fatalf("seq=%d", s)
+	}
+	if s := f.nextSeq(); s != 1 {
+		t.Fatalf("seq after wrap=%d, want 1 (0 is reserved for unsequenced)", s)
+	}
+}
+
+func TestAgentDedupsUrgents(t *testing.T) {
+	alg := &recordAlg{}
+	a := newTestAgent(t, alg, nil)
+	cap := &capture{}
+	a.HandleMessage(createMsg(1), cap.send)
+	a.HandleMessage(&proto.Urgent{SID: 1, Seq: 1, Kind: proto.UrgentDupAck, Value: 1448}, cap.send)
+	a.HandleMessage(&proto.Urgent{SID: 1, Seq: 1, Kind: proto.UrgentDupAck, Value: 1448}, cap.send) // duplicate
+	a.HandleMessage(&proto.Urgent{SID: 1, Seq: 2, Kind: proto.UrgentTimeout, Value: 0}, cap.send)
+	a.HandleMessage(&proto.Urgent{SID: 1, Seq: 1, Kind: proto.UrgentDupAck, Value: 1448}, cap.send) // reordered
+	if len(alg.urgents) != 2 {
+		t.Fatalf("alg saw %d urgents, want 2", len(alg.urgents))
+	}
+	st := a.Stats()
+	if st.Urgents != 2 || st.DupUrgents != 2 {
+		t.Fatalf("stats=%+v", st)
+	}
+	// Unsequenced urgents always pass (pre-protocol datapaths).
+	a.HandleMessage(&proto.Urgent{SID: 1, Kind: proto.UrgentDupAck, Value: 1}, cap.send)
+	if len(alg.urgents) != 3 {
+		t.Fatal("unsequenced urgent dropped")
+	}
+}
+
+func TestAgentDropsStaleReports(t *testing.T) {
+	alg := &recordAlg{}
+	a := newTestAgent(t, alg, nil)
+	cap := &capture{}
+	a.HandleMessage(createMsg(1), cap.send)
+	a.HandleMessage(&proto.Measurement{SID: 1, Seq: 2, Fields: []float64{1}}, cap.send)
+	a.HandleMessage(&proto.Measurement{SID: 1, Seq: 1, Fields: []float64{2}}, cap.send) // reordered
+	a.HandleMessage(&proto.Measurement{SID: 1, Seq: 2, Fields: []float64{1}}, cap.send) // duplicate
+	a.HandleMessage(&proto.Vector{SID: 1, Seq: 2, NumFields: 1, Data: []float64{3}}, cap.send)
+	if len(alg.measures) != 1 {
+		t.Fatalf("alg saw %d reports, want 1", len(alg.measures))
+	}
+	st := a.Stats()
+	if st.Measurements != 1 || st.StaleReports != 3 {
+		t.Fatalf("stats=%+v", st)
+	}
+	// A newer vector still lands (shared report sequence space).
+	a.HandleMessage(&proto.Vector{SID: 1, Seq: 3, NumFields: 0, Data: nil}, cap.send)
+	if a.Stats().Vectors != 1 {
+		t.Fatalf("stats=%+v", a.Stats())
+	}
+}
+
+func TestAgentDedupsCreates(t *testing.T) {
+	alg := &recordAlg{}
+	a := newTestAgent(t, alg, nil)
+	cap := &capture{}
+	c := createMsg(1)
+	c.Seq = 7
+	a.HandleMessage(c, cap.send)
+	a.HandleMessage(c, cap.send) // duplicated delivery: same announcement
+	if alg.inits != 1 || alg.releases != 0 {
+		t.Fatalf("duplicate Create rebuilt the flow: inits=%d releases=%d", alg.inits, alg.releases)
+	}
+	if a.Stats().DupCreates != 1 {
+		t.Fatalf("stats=%+v", a.Stats())
+	}
+	// A Create with a different Seq is a genuine resync: rebuild.
+	c2 := createMsg(1)
+	c2.Seq = 9
+	a.HandleMessage(c2, cap.send)
+	if alg.inits != 2 || alg.releases != 1 {
+		t.Fatalf("resync Create ignored: inits=%d releases=%d", alg.inits, alg.releases)
+	}
+	// Unsequenced Creates always rebuild (pre-protocol behaviour).
+	a.HandleMessage(createMsg(1), cap.send)
+	a.HandleMessage(createMsg(1), cap.send)
+	if alg.inits != 4 {
+		t.Fatalf("inits=%d", alg.inits)
+	}
+}

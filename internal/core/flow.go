@@ -43,9 +43,27 @@ type Flow struct {
 	installed *lang.Program
 	created   time.Duration
 
+	// ctrlSeq numbers outgoing control messages (Install, SetCwnd, SetRate)
+	// in one shared sequence space, so the datapath can discard reordered or
+	// duplicated copies of superseded decisions. It starts from the Seq the
+	// datapath announced in Create, which on a resync is the newest sequence
+	// it has applied — a restarted agent resumes numbering above it instead
+	// of looking stale.
+	ctrlSeq uint32
+
 	// Stats observed by the agent for this flow.
 	reports int
 	urgents int
+}
+
+// nextSeq allocates the next control sequence number, skipping 0 on wrap
+// (seq 0 marks an unsequenced message on the wire).
+func (f *Flow) nextSeq() uint32 {
+	f.ctrlSeq++
+	if f.ctrlSeq == 0 {
+		f.ctrlSeq = 1
+	}
+	return f.ctrlSeq
 }
 
 // Install sends a control program to the datapath, first rewriting it under
@@ -64,7 +82,7 @@ func (f *Flow) Install(p *lang.Program) error {
 	if err != nil {
 		return err
 	}
-	if err := f.send(&proto.Install{SID: f.Info.SID, Prog: data}); err != nil {
+	if err := f.send(&proto.Install{SID: f.Info.SID, Seq: f.nextSeq(), Prog: data}); err != nil {
 		return err
 	}
 	f.installed = clamped
@@ -80,7 +98,7 @@ func (f *Flow) SetCwnd(bytes int) error {
 	if bytes < 0 {
 		bytes = 0
 	}
-	return f.send(&proto.SetCwnd{SID: f.Info.SID, Bytes: uint32(bytes)})
+	return f.send(&proto.SetCwnd{SID: f.Info.SID, Seq: f.nextSeq(), Bytes: uint32(bytes)})
 }
 
 // SetRate directly sets the pacing rate (bytes/sec), clamped by policy.
@@ -91,7 +109,7 @@ func (f *Flow) SetRate(bps float64) error {
 	if bps < 0 {
 		bps = 0
 	}
-	return f.send(&proto.SetRate{SID: f.Info.SID, Bps: bps})
+	return f.send(&proto.SetRate{SID: f.Info.SID, Seq: f.nextSeq(), Bps: bps})
 }
 
 // Installed returns the most recently installed (policy-rewritten) program,

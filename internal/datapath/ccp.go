@@ -69,6 +69,16 @@ type Stats struct {
 	FallbackOn     int
 	FallbackOff    int
 	VectorDropped  int
+	// StaleCtrlDropped counts sequenced control messages (Install, SetCwnd,
+	// SetRate) discarded because a newer decision had already been applied —
+	// the reorder/duplicate protection of the control channel.
+	StaleCtrlDropped int
+	// Resyncs counts Create re-announcements sent while the fallback was
+	// active, prompting a restarted agent to re-adopt the flow.
+	Resyncs int
+	// UnexpectedMsgs counts agent messages of a type the datapath does not
+	// handle; they are ignored rather than trusted.
+	UnexpectedMsgs int
 }
 
 // CCP is the datapath runtime for one flow. It implements
@@ -91,6 +101,13 @@ type CCP struct {
 	waitedPass bool
 	waitTimer  netsim.Timer
 	reportSeq  uint32
+
+	// lastCtrlSeq is the newest control sequence number applied; stale or
+	// duplicate control messages are dropped (seq 0 is unsequenced and always
+	// accepted). urgentSeq numbers outgoing urgents so the agent can dedup
+	// duplicated deliveries.
+	lastCtrlSeq uint32
+	urgentSeq   uint32
 
 	// EWMA-mode state (§3 prototype).
 	ewmaRtt  *stats.EWMA
@@ -139,6 +156,9 @@ func New(cfg Config) *CCP {
 
 // Stats returns a snapshot of the runtime counters.
 func (d *CCP) Stats() Stats { return d.stats }
+
+// SID returns the flow's wire-protocol identifier.
+func (d *CCP) SID() uint32 { return d.cfg.SID }
 
 // FallbackActive reports whether the safety fallback is controlling the flow.
 func (d *CCP) FallbackActive() bool { return d.fallbackActive }
@@ -255,10 +275,21 @@ func (d *CCP) OnCongestion(c *tcp.Conn, ev tcp.CongEvent, lostBytes int) {
 
 // Deliver processes a message from the agent (the datapath side of
 // Figure 1's downward arrow).
+//
+// Control messages carry a sequence number shared across Install, SetCwnd,
+// and SetRate; a message at or below the newest applied sequence is a
+// reordered or duplicated copy of a decision already superseded and is
+// dropped, so the channel may reorder freely without an old window ever
+// overwriting a newer one. Seq 0 marks an unsequenced message and is always
+// accepted. Stale messages do not count as agent liveness: only decisions
+// the datapath actually applies reset the §5 watchdog.
 func (d *CCP) Deliver(m proto.Msg) {
-	d.touchAgent()
 	switch v := m.(type) {
 	case *proto.Install:
+		if d.staleCtrl(v.Seq) {
+			return
+		}
+		d.touchAgent()
 		prog, err := lang.UnmarshalProgram(v.Prog)
 		if err != nil {
 			// A malformed program must not crash the datapath (§5); the
@@ -270,14 +301,60 @@ func (d *CCP) Deliver(m proto.Msg) {
 		}
 		d.stats.InstallsRecvd++
 	case *proto.SetCwnd:
+		if d.staleCtrl(v.Seq) {
+			return
+		}
+		d.touchAgent()
 		d.stats.SetCwndRecvd++
 		d.applyCwnd(int(v.Bytes))
 	case *proto.SetRate:
+		if d.staleCtrl(v.Seq) {
+			return
+		}
+		d.touchAgent()
 		d.stats.SetRateRecvd++
 		if d.conn != nil {
 			d.conn.SetPacingRate(v.Bps)
 		}
+	default:
+		// Anything else on the control channel is noise (corruption that
+		// happened to decode, or a confused agent); ignore it and do not
+		// treat it as liveness.
+		d.stats.UnexpectedMsgs++
 	}
+}
+
+// staleCtrl checks a control message's sequence number against the newest
+// applied one, recording and dropping stale or duplicate copies. It advances
+// lastCtrlSeq when the message is fresh.
+func (d *CCP) staleCtrl(seq uint32) bool {
+	if seq == 0 {
+		return false // unsequenced: always accepted
+	}
+	if !proto.SeqNewer(seq, d.lastCtrlSeq) {
+		d.stats.StaleCtrlDropped++
+		return true
+	}
+	d.lastCtrlSeq = seq
+	return false
+}
+
+// Resync re-announces the flow to the agent. The Create carries the flow's
+// *current* window (not the original one) so a restarted agent starts from
+// live state, and the newest applied control sequence so the agent resumes
+// numbering above it instead of looking stale.
+func (d *CCP) Resync() {
+	if d.conn == nil {
+		return
+	}
+	d.stats.Resyncs++
+	d.send(&proto.Create{
+		SID:      d.cfg.SID,
+		MSS:      uint32(d.conn.MSS()),
+		InitCwnd: uint32(d.conn.Cwnd()),
+		Seq:      d.lastCtrlSeq,
+		Alg:      d.cfg.Alg,
+	})
 }
 
 // install compiles and activates a program.
@@ -513,7 +590,8 @@ func (d *CCP) report() {
 
 func (d *CCP) sendUrgent(kind proto.UrgentKind, value float64) {
 	d.stats.UrgentsSent++
-	d.send(&proto.Urgent{SID: d.cfg.SID, Kind: kind, Value: value})
+	d.urgentSeq++
+	d.send(&proto.Urgent{SID: d.cfg.SID, Seq: d.urgentSeq, Kind: kind, Value: value})
 }
 
 func (d *CCP) send(m proto.Msg) {
@@ -603,6 +681,12 @@ func (d *CCP) armWatchdog() {
 			if d.conn != nil {
 				d.fallback.Init(d.conn)
 			}
+		}
+		if d.fallbackActive {
+			// Re-announce the flow every tick while the agent is silent: if
+			// the silence was a crash, the restarted agent has no flow state
+			// and needs a Create to re-adopt the flow (crash/resync recovery).
+			d.Resync()
 		}
 		d.armWatchdog()
 	})

@@ -393,3 +393,175 @@ var errSend = errSentinel{}
 type errSentinel struct{}
 
 func (errSentinel) Error() string { return "sentinel" }
+
+func TestReorderedCtrlNeverRegresses(t *testing.T) {
+	// A duplicated/reordered channel can deliver an old decision after a
+	// newer one; the sequence check must keep the newer window in force.
+	r := newRig(t, link8(), tcp.Options{}, datapath.Config{})
+	r.flow.Conn.Start()
+	r.dp.Deliver(&proto.SetCwnd{SID: 1, Seq: 2, Bytes: 20000})
+	r.dp.Deliver(&proto.SetCwnd{SID: 1, Seq: 1, Bytes: 5000}) // stale reorder
+	r.dp.Deliver(&proto.SetCwnd{SID: 1, Seq: 2, Bytes: 5000}) // duplicate replay
+	if got := r.flow.Conn.Cwnd(); got != 20000 {
+		t.Fatalf("stale SetCwnd regressed window to %d", got)
+	}
+	st := r.dp.Stats()
+	if st.SetCwndRecvd != 1 || st.StaleCtrlDropped != 2 {
+		t.Fatalf("stats=%+v", st)
+	}
+	// Same sequence space covers SetRate and Install.
+	r.dp.Deliver(&proto.SetRate{SID: 1, Seq: 1, Bps: 999})
+	if r.flow.Conn.PacingRate() == 999 {
+		t.Fatal("stale SetRate applied")
+	}
+	prev := r.dp.Program()
+	data, err := lang.MarshalProgram(lang.NewProgram().Cwnd(lang.C(1448)).WaitRtts(1).MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.dp.Deliver(&proto.Install{SID: 1, Seq: 2, Prog: data})
+	if r.dp.Program() != prev {
+		t.Fatal("stale Install replaced the program")
+	}
+	// A genuinely newer decision still lands.
+	r.dp.Deliver(&proto.SetCwnd{SID: 1, Seq: 3, Bytes: 30000})
+	if r.flow.Conn.Cwnd() != 30000 {
+		t.Fatal("fresh SetCwnd rejected")
+	}
+}
+
+func TestUnsequencedCtrlAlwaysAccepted(t *testing.T) {
+	// Seq 0 predates the sequence protocol; it must keep working.
+	r := newRig(t, link8(), tcp.Options{}, datapath.Config{})
+	r.flow.Conn.Start()
+	r.dp.Deliver(&proto.SetCwnd{SID: 1, Seq: 5, Bytes: 20000})
+	r.dp.Deliver(&proto.SetCwnd{SID: 1, Bytes: 7240})
+	if r.flow.Conn.Cwnd() != 7240 {
+		t.Fatal("unsequenced SetCwnd dropped")
+	}
+	if r.dp.Stats().StaleCtrlDropped != 0 {
+		t.Fatalf("stats=%+v", r.dp.Stats())
+	}
+}
+
+func TestStaleCtrlIsNotLiveness(t *testing.T) {
+	// Replayed stale messages must not hold the §5 watchdog off: only
+	// applied decisions prove the agent is making progress.
+	r := newRig(t, link8(), tcp.Options{}, datapath.Config{FallbackAfter: 500 * time.Millisecond})
+	r.flow.Conn.Start()
+	r.dp.Deliver(&proto.SetCwnd{SID: 1, Seq: 100, Bytes: 20000})
+	stale := func() { r.dp.Deliver(&proto.SetCwnd{SID: 1, Seq: 1, Bytes: 5000}) }
+	for i := 1; i <= 19; i++ {
+		r.sim.Schedule(time.Duration(i)*100*time.Millisecond, stale)
+	}
+	r.sim.Run(2 * time.Second)
+	if !r.dp.FallbackActive() {
+		t.Fatal("stale replays kept the watchdog at bay")
+	}
+}
+
+func TestUrgentsCarrySequence(t *testing.T) {
+	link := netsim.LinkConfig{RateBps: 8e6, Delay: 5 * time.Millisecond, QueueBytes: 8 * 1500}
+	r := newRig(t, link, tcp.Options{}, datapath.Config{})
+	r.flow.Conn.Start()
+	install(t, r, lang.NewProgram().Cwnd(lang.C(80*1448)).WaitRtts(1).Report().MustBuild())
+	r.sim.Run(3 * time.Second)
+	var seqs []uint32
+	for _, m := range r.sent {
+		if u, ok := m.(*proto.Urgent); ok {
+			seqs = append(seqs, u.Seq)
+		}
+	}
+	if len(seqs) < 2 {
+		t.Fatalf("want >=2 urgents, got %d", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != uint32(i+1) {
+			t.Fatalf("urgent %d has seq %d, want %d", i, s, i+1)
+		}
+	}
+}
+
+func TestWatchdogResyncsWhileFallbackActive(t *testing.T) {
+	r := newRig(t, link8(), tcp.Options{}, datapath.Config{FallbackAfter: 500 * time.Millisecond})
+	r.flow.Conn.Start()
+	r.dp.Deliver(&proto.SetCwnd{SID: 1, Seq: 7, Bytes: 20000})
+	r.sim.Run(2 * time.Second) // agent goes silent; fallback engages
+	if !r.dp.FallbackActive() {
+		t.Fatal("fallback not active")
+	}
+	creates := 0
+	var last *proto.Create
+	for _, m := range r.sent {
+		if c, ok := m.(*proto.Create); ok {
+			creates++
+			last = c
+		}
+	}
+	if creates < 2 {
+		t.Fatalf("no resync Creates sent (creates=%d)", creates)
+	}
+	if last.Seq != 7 {
+		t.Fatalf("resync Create carries seq %d, want 7 (newest applied)", last.Seq)
+	}
+	if int(last.InitCwnd) != r.flow.Conn.Cwnd() {
+		t.Fatalf("resync Create carries cwnd %d, conn has %d", last.InitCwnd, r.flow.Conn.Cwnd())
+	}
+	if r.dp.Stats().Resyncs != creates-1 {
+		t.Fatalf("stats=%+v creates=%d", r.dp.Stats(), creates)
+	}
+}
+
+func TestFallbackRecoveryReinstallsProgram(t *testing.T) {
+	// Crash recovery end state: after the agent returns and re-installs, the
+	// CCP program is in force and the window is the agent's decision — no
+	// native-fallback state bleeds into the CCP window.
+	r := newRig(t, link8(), tcp.Options{}, datapath.Config{FallbackAfter: 500 * time.Millisecond})
+	r.flow.Conn.Start()
+	r.sim.Run(3 * time.Second) // fallback engages; NewReno grows the window
+	if !r.dp.FallbackActive() {
+		t.Fatal("fallback not active")
+	}
+	prog := lang.NewProgram().Cwnd(lang.C(30000)).WaitRtts(1).Report().MustBuild()
+	data, err := lang.MarshalProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.dp.Deliver(&proto.Install{SID: 1, Seq: 1, Prog: data})
+	if r.dp.FallbackActive() {
+		t.Fatal("fallback still active after re-install")
+	}
+	if r.dp.Stats().FallbackOff != 1 || r.dp.Stats().InstallsRecvd != 1 {
+		t.Fatalf("stats=%+v", r.dp.Stats())
+	}
+	// The re-installed program runs immediately and overwrites whatever
+	// window the native fallback had grown to.
+	if got := r.flow.Conn.Cwnd(); got != 30000 {
+		t.Fatalf("cwnd=%d after re-install, want the program's 30000", got)
+	}
+	// With the agent now responsive, the program stays in control on
+	// subsequent ACK processing (keepalives reuse the program's window).
+	seq := uint32(2)
+	for i := 1; i <= 14; i++ {
+		s := seq
+		seq++
+		r.sim.Schedule(time.Duration(i)*250*time.Millisecond,
+			func() { r.dp.Deliver(&proto.SetCwnd{SID: 1, Seq: s, Bytes: 30000}) })
+	}
+	r.sim.Run(4 * time.Second)
+	if r.dp.FallbackActive() {
+		t.Fatal("fallback re-engaged despite live agent")
+	}
+	if got := r.flow.Conn.Cwnd(); got != 30000 {
+		t.Fatalf("cwnd drifted to %d under the re-installed program", got)
+	}
+}
+
+func TestUnexpectedMsgCounted(t *testing.T) {
+	r := newRig(t, link8(), tcp.Options{}, datapath.Config{})
+	r.flow.Conn.Start()
+	r.dp.Deliver(&proto.Create{SID: 1}) // agent→datapath Create is nonsense
+	if r.dp.Stats().UnexpectedMsgs != 1 {
+		t.Fatalf("stats=%+v", r.dp.Stats())
+	}
+}

@@ -235,6 +235,13 @@ func (r AblFoldVecResult) String() string {
 type AblFallbackResult struct {
 	UtilBefore, UtilDuring, UtilAfter float64
 	Activations, Deactivations        int
+	// Recovery accounting: the datapath re-announces the flow while the
+	// agent is silent (Resyncs), the returning agent re-adopts it
+	// (AgentFlowsCreated > 1) and re-installs its program (Installs > 1),
+	// so no stale native-fallback state leaks into the recovered CCP window.
+	Resyncs           int
+	Installs          int
+	AgentFlowsCreated int
 }
 
 // AblFallback kills the bridge (agent crash) from t=5s to t=15s.
@@ -253,11 +260,14 @@ func AblFallback() AblFallbackResult {
 	cap := link.RateBps / 8
 	st := f.DP.Stats()
 	return AblFallbackResult{
-		UtilBefore:    thr.MeanOver(1*time.Second, 5*time.Second) / cap,
-		UtilDuring:    thr.MeanOver(6*time.Second, 15*time.Second) / cap,
-		UtilAfter:     thr.MeanOver(16*time.Second, 25*time.Second) / cap,
-		Activations:   st.FallbackOn,
-		Deactivations: st.FallbackOff,
+		UtilBefore:        thr.MeanOver(1*time.Second, 5*time.Second) / cap,
+		UtilDuring:        thr.MeanOver(6*time.Second, 15*time.Second) / cap,
+		UtilAfter:         thr.MeanOver(16*time.Second, 25*time.Second) / cap,
+		Activations:       st.FallbackOn,
+		Deactivations:     st.FallbackOff,
+		Resyncs:           st.Resyncs,
+		Installs:          st.InstallsRecvd,
+		AgentFlowsCreated: net.Agent.Stats().FlowsCreated,
 	}
 }
 
@@ -269,6 +279,8 @@ func (r AblFallbackResult) String() string {
 	fmt.Fprintf(&b, "  utilization during crash (fallback NewReno): %.1f%%\n", r.UtilDuring*100)
 	fmt.Fprintf(&b, "  utilization after recovery: %.1f%%\n", r.UtilAfter*100)
 	fmt.Fprintf(&b, "  fallback activations=%d deactivations=%d\n", r.Activations, r.Deactivations)
+	fmt.Fprintf(&b, "  recovery: resync Creates=%d, agent flow adoptions=%d, programs installed=%d\n",
+		r.Resyncs, r.AgentFlowsCreated, r.Installs)
 	return b.String()
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -249,6 +250,62 @@ func TestAblFallbackShape(t *testing.T) {
 		if u < 0.5 {
 			t.Fatalf("a phase starved: %+v", res)
 		}
+	}
+	// Recovery is active, not incidental: the datapath re-announced the flow
+	// while the agent was gone, the agent re-adopted it on return, and the
+	// algorithm's program was re-installed — the CCP window after recovery
+	// is the fresh program's decision, not leftover fallback state.
+	if res.Resyncs == 0 {
+		t.Fatalf("no resync Creates during the outage: %+v", res)
+	}
+	if res.AgentFlowsCreated < 2 {
+		t.Fatalf("agent never re-adopted the flow: %+v", res)
+	}
+	if res.Installs < 2 {
+		t.Fatalf("program not re-installed after recovery: %+v", res)
+	}
+}
+
+func TestAblChaosShape(t *testing.T) {
+	res := AblChaos()
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	// The fault layer at rate 0 must be provably transparent.
+	if !res.ZeroMatchesBaseline {
+		t.Fatalf("rate-0 run diverged from the fault-free channel: %+v", res.Rows[0])
+	}
+	for _, row := range res.Rows {
+		// Bounded utilization at every intensity: the flow always completes
+		// and keeps the link moving (the §5 fallback carries the worst case).
+		if row.Utilization < 0.2 {
+			t.Fatalf("flow starved at rate %.2f: %+v", row.Rate, row)
+		}
+		if row.Rate == 0 && (row.Injected.Dropped != 0 || row.FallbackOn != 0) {
+			t.Fatalf("faults at rate 0: %+v", row)
+		}
+	}
+	heavy := res.Rows[len(res.Rows)-1]
+	// Under heavy faults the channel is effectively dead: the fallback must
+	// engage and the datapath must be re-announcing the flow.
+	if heavy.FallbackOn == 0 {
+		t.Fatalf("fallback never engaged at rate %.2f: %+v", heavy.Rate, heavy)
+	}
+	if heavy.Resyncs == 0 {
+		t.Fatalf("no resyncs under heavy faults: %+v", heavy)
+	}
+	if heavy.Injected.DecodeKilled == 0 {
+		t.Fatalf("corruption never reached the decoders: %+v", heavy)
+	}
+}
+
+func TestAblChaosDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double sweep in -short mode")
+	}
+	a, b := AblChaos(), AblChaos()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical sweeps diverged:\n%v\n%v", a, b)
 	}
 }
 

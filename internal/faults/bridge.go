@@ -1,0 +1,79 @@
+package faults
+
+import (
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/bridge"
+	"github.com/ccp-repro/ccp/internal/datapath"
+	"github.com/ccp-repro/ccp/internal/netsim"
+	"github.com/ccp-repro/ccp/internal/proto"
+)
+
+// Bridge wraps a simulator IPC bridge with fault injection. Every message
+// crossing it is marshalled, run through the injector at the byte level
+// (so corruption exercises the real decoders), and — if it still decodes —
+// forwarded through the inner bridge's latency model. It offers the same
+// Connect entry point as bridge.Bridge, so harnesses can swap it in.
+type Bridge struct {
+	inner *bridge.Bridge
+	sim   *netsim.Sim
+	inj   *Injector
+}
+
+// NewBridge wraps inner with plan. Randomness comes from the simulator's
+// seeded RNG, so runs are deterministic per seed; with a zero plan the
+// wrapper consumes no randomness and behaviour is bit-identical to the
+// unwrapped bridge.
+func NewBridge(sim *netsim.Sim, inner *bridge.Bridge, plan Plan) *Bridge {
+	inj := NewInjector(plan, sim.Rand(), func(d time.Duration, fn func()) {
+		sim.Schedule(d, fn)
+	})
+	return &Bridge{inner: inner, sim: sim, inj: inj}
+}
+
+// Stats returns the injector's fault counters.
+func (b *Bridge) Stats() Stats { return b.inj.Stats() }
+
+// Inner returns the wrapped bridge (for Stop/Start and traffic stats).
+func (b *Bridge) Inner() *bridge.Bridge { return b.inner }
+
+// Connect builds a datapath runtime for one flow whose channel to and from
+// the agent passes through the fault injector.
+func (b *Bridge) Connect(cfg datapath.Config) *datapath.CCP {
+	cfg.Clock = b.sim
+	var dp *datapath.CCP
+	send := b.inner.DatapathSender(func(m proto.Msg) {
+		// Agent→datapath: faults apply after the bridge's latency.
+		data, err := proto.Marshal(m)
+		if err != nil {
+			return
+		}
+		b.inj.Apply(ToDatapath, data, func(raw []byte) {
+			msg, err := proto.Unmarshal(raw)
+			if err != nil {
+				b.inj.NoteDecodeKilled(ToDatapath)
+				return
+			}
+			dp.Deliver(msg)
+		})
+	})
+	cfg.ToAgent = func(m proto.Msg) error {
+		// Datapath→agent: faults apply before the bridge's latency; the
+		// total delay (jitter + latency) is what the agent observes.
+		data, err := proto.Marshal(m)
+		if err != nil {
+			return err
+		}
+		b.inj.Apply(ToAgent, data, func(raw []byte) {
+			msg, err := proto.Unmarshal(raw)
+			if err != nil {
+				b.inj.NoteDecodeKilled(ToAgent)
+				return
+			}
+			_ = send(msg)
+		})
+		return nil
+	}
+	dp = datapath.New(cfg)
+	return dp
+}

@@ -1,0 +1,82 @@
+package faults
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/ipc"
+)
+
+// Transport decorates an ipc.Transport with send-side fault injection: the
+// real-socket analog of the simulator's fault bridge. Wrap each endpoint
+// whose outbound direction should misbehave (wrap both for a fully
+// adversarial channel). Recv and Close pass through untouched.
+type Transport struct {
+	inner ipc.Transport
+
+	mu  sync.Mutex
+	inj *Injector
+}
+
+// WrapTransport decorates inner, applying plan to every Send. Faults are
+// driven by a private RNG seeded with seed, so a fault schedule is
+// reproducible independent of goroutine timing; delayed deliveries use real
+// timers.
+func WrapTransport(inner ipc.Transport, plan DirPlan, seed int64) *Transport {
+	t := &Transport{inner: inner}
+	t.inj = NewInjector(Plan{ToAgent: plan}, rand.New(rand.NewSource(seed)),
+		func(d time.Duration, fn func()) { time.AfterFunc(d, fn) })
+	return t
+}
+
+// Stats returns the fault counters for this endpoint's send direction.
+func (t *Transport) Stats() DirStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.inj.Stats().ToAgent
+}
+
+// Send applies the fault plan to msg; surviving copies go to the inner
+// transport, possibly delayed. Errors from synchronous deliveries are
+// returned; errors on delayed copies are dropped — the fate of a datagram
+// already handed to a dying kernel socket.
+func (t *Transport) Send(msg []byte) error {
+	data := append([]byte(nil), msg...)
+	box := &sendErr{}
+	t.mu.Lock()
+	t.inj.Apply(ToAgent, data, func(d []byte) {
+		box.record(t.inner.Send(d))
+	})
+	t.mu.Unlock()
+	return box.take()
+}
+
+// sendErr collects the first error from deliveries that happen before Send
+// returns; later (timer-delayed) deliveries are recorded nowhere.
+type sendErr struct {
+	mu   sync.Mutex
+	err  error
+	done bool
+}
+
+func (b *sendErr) record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.done && b.err == nil {
+		b.err = err
+	}
+}
+
+func (b *sendErr) take() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.done = true
+	return b.err
+}
+
+// Recv passes through to the inner transport.
+func (t *Transport) Recv() ([]byte, error) { return t.inner.Recv() }
+
+// Close closes the inner transport.
+func (t *Transport) Close() error { return t.inner.Close() }

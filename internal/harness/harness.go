@@ -12,6 +12,7 @@ import (
 	"github.com/ccp-repro/ccp/internal/bridge"
 	"github.com/ccp-repro/ccp/internal/core"
 	"github.com/ccp-repro/ccp/internal/datapath"
+	"github.com/ccp-repro/ccp/internal/faults"
 	"github.com/ccp-repro/ccp/internal/netsim"
 	"github.com/ccp-repro/ccp/internal/tcp"
 )
@@ -34,6 +35,10 @@ type Config struct {
 	Policy core.PolicyFunc
 	// Registry overrides the algorithm registry (default: all bundled).
 	Registry *core.Registry
+	// Faults, when non-nil, routes every CCP flow's agent↔datapath channel
+	// through a fault injector with this plan (drawing on the simulator RNG,
+	// so runs stay deterministic per seed).
+	Faults *faults.Plan
 }
 
 // Net is a running deployment.
@@ -44,6 +49,9 @@ type Net struct {
 	Rev    *netsim.Demux
 	Agent  *core.Agent
 	Bridge *bridge.Bridge
+	// FaultBridge is set when Config.Faults was given; CCP flows connect
+	// through it instead of Bridge.
+	FaultBridge *faults.Bridge
 
 	nextSID uint32
 }
@@ -77,7 +85,7 @@ func New(cfg Config) *Net {
 	if err != nil {
 		panic("harness: " + err.Error())
 	}
-	return &Net{
+	n := &Net{
 		Sim:    sim,
 		Path:   path,
 		Fwd:    fwd,
@@ -85,6 +93,10 @@ func New(cfg Config) *Net {
 		Agent:  agent,
 		Bridge: bridge.New(sim, agent, cfg.IPCLatency),
 	}
+	if cfg.Faults != nil {
+		n.FaultBridge = faults.NewBridge(sim, n.Bridge, *cfg.Faults)
+	}
+	return n
 }
 
 // CCPFlow is a CCP-controlled flow plus its datapath runtime.
@@ -106,7 +118,12 @@ func (n *Net) AddCCPFlowCfg(id netsim.FlowID, alg string, opts tcp.Options, dpCf
 	n.nextSID++
 	dpCfg.SID = n.nextSID
 	dpCfg.Alg = alg
-	dp := n.Bridge.Connect(dpCfg)
+	var dp *datapath.CCP
+	if n.FaultBridge != nil {
+		dp = n.FaultBridge.Connect(dpCfg)
+	} else {
+		dp = n.Bridge.Connect(dpCfg)
+	}
 	f := tcp.NewFlow(n.Sim, id, n.Path, n.Fwd, n.Rev, dp, opts)
 	return &CCPFlow{Flow: f, DP: dp}
 }

@@ -1,0 +1,166 @@
+package harness_test
+
+import (
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/algorithms"
+	"github.com/ccp-repro/ccp/internal/core"
+	"github.com/ccp-repro/ccp/internal/datapath"
+	"github.com/ccp-repro/ccp/internal/harness"
+	"github.com/ccp-repro/ccp/internal/ipc"
+	"github.com/ccp-repro/ccp/internal/netsim"
+	"github.com/ccp-repro/ccp/internal/tcp"
+)
+
+// agentProc is one "agent process": a core.Agent serving a Unix socket, with
+// enough handles to kill it abruptly.
+type agentProc struct {
+	agent *core.Agent
+	ln    *net.UnixListener
+	conns chan ipc.Transport
+}
+
+func startAgentProc(t *testing.T, sockPath string) *agentProc {
+	t.Helper()
+	agent, err := core.NewAgent(core.AgentConfig{
+		Registry:   algorithms.NewRegistry(),
+		DefaultAlg: "cubic",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := ipc.ListenUnix(sockPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &agentProc{agent: agent, ln: ln, conns: make(chan ipc.Transport, 4)}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			tr := ipc.NewStream(conn)
+			p.conns <- tr
+			go agent.ServeTransport(tr)
+		}
+	}()
+	return p
+}
+
+// kill closes the listener and every accepted connection: the process dies,
+// its socket buffers die with it.
+func (p *agentProc) kill() {
+	p.ln.Close()
+	for {
+		select {
+		case tr := <-p.conns:
+			tr.Close()
+		default:
+			return
+		}
+	}
+}
+
+// TestSocketLinkSurvivesAgentRestart kills the agent process mid-run and
+// starts a fresh one on the same socket. The SocketLink must redial on its
+// own and resync the flow: the new agent — which has never seen the flow —
+// re-adopts it from the replayed Create, re-installs its program, and the
+// datapath leaves §5 fallback. No test code re-announces anything.
+func TestSocketLinkSurvivesAgentRestart(t *testing.T) {
+	sockPath := filepath.Join(t.TempDir(), "ccp.sock")
+	proc1 := startAgentProc(t, sockPath)
+
+	link := harness.NewSocketLink(harness.SocketLinkConfig{
+		Dial:        func() (ipc.Transport, error) { return ipc.DialUnix(sockPath) },
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	defer link.Close()
+
+	sim := netsim.New(1)
+	fwd, rev := netsim.NewDemux(), netsim.NewDemux()
+	lnk := netsim.LinkConfig{RateBps: 48e6, Delay: 5 * time.Millisecond, QueueBytes: 60000}
+	path := netsim.NewPath(sim, netsim.PathConfig{Bottleneck: lnk}, fwd, rev)
+
+	dp := datapath.New(datapath.Config{
+		SID:           1,
+		Alg:           "cubic",
+		Clock:         sim,
+		ToAgent:       link.ToAgent,
+		FallbackAfter: 200 * time.Millisecond,
+	})
+	link.Attach(dp)
+	flow := tcp.NewFlow(sim, 1, path, fwd, rev, dp, tcp.Options{})
+	flow.Conn.Start()
+
+	const slice = 5 * time.Millisecond
+	deadline := time.Now().Add(60 * time.Second)
+	runUntil := func(until time.Duration) {
+		t.Helper()
+		for now := sim.Now(); now < until; now += slice {
+			if time.Now().After(deadline) {
+				t.Fatal("wall-clock deadline exceeded")
+			}
+			sim.Run(now + slice)
+			link.Pump()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	waitConnected := func() {
+		t.Helper()
+		for !link.Connected() {
+			if time.Now().After(deadline) {
+				t.Fatal("link never reconnected")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Phase 1: healthy run under agent 1.
+	waitConnected()
+	runUntil(1 * time.Second)
+	if proc1.agent.Stats().FlowsCreated != 1 {
+		t.Fatalf("agent1 flows=%d", proc1.agent.Stats().FlowsCreated)
+	}
+	if dp.Stats().InstallsRecvd == 0 {
+		t.Fatal("agent1 never installed a program")
+	}
+
+	// Phase 2: the agent process dies. The flow keeps running; the sim keeps
+	// advancing; the §5 fallback takes over once the silence exceeds 200ms.
+	proc1.kill()
+	runUntil(2 * time.Second)
+	if !dp.FallbackActive() {
+		t.Fatal("fallback not active with the agent dead")
+	}
+
+	// Phase 3: a fresh agent process appears on the same socket. The link
+	// must reconnect and resync without any help.
+	proc2 := startAgentProc(t, sockPath)
+	defer proc2.kill()
+	waitConnected()
+	runUntil(4 * time.Second)
+
+	if got := proc2.agent.Stats().FlowsCreated; got < 1 {
+		t.Fatalf("agent2 never re-adopted the flow (flows=%d)", got)
+	}
+	if dp.FallbackActive() {
+		t.Fatal("fallback still active after agent restart")
+	}
+	if dp.Stats().FallbackOff == 0 {
+		t.Fatalf("fallback never deactivated: %+v", dp.Stats())
+	}
+	st := link.Stats()
+	if st.Connects < 2 || st.Resyncs < 1 {
+		t.Fatalf("link stats=%+v", st)
+	}
+	// The flow made progress in every phase.
+	if u := path.Forward.Utilization(4 * time.Second); u < 0.5 {
+		t.Fatalf("utilization %.3f across the agent restart", u)
+	}
+}

@@ -94,6 +94,35 @@ func TestChanPairDrainsQueuedAfterPeerClose(t *testing.T) {
 	}
 }
 
+func TestChanPairDrainsEveryQueuedAfterPeerClose(t *testing.T) {
+	// Regression: with several messages in flight at close time, every one
+	// must be delivered before ErrClosed — none may be lost to the race
+	// between the queued-message and peer-closed select cases. Repeat to
+	// cover select's random case choice.
+	for trial := 0; trial < 200; trial++ {
+		a, b := ChanPair(8)
+		for i := byte(0); i < 5; i++ {
+			if err := a.Send([]byte{i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a.Close()
+		for i := byte(0); i < 5; i++ {
+			got, err := b.Recv()
+			if err != nil {
+				t.Fatalf("trial %d: lost message %d: %v", trial, i, err)
+			}
+			if len(got) != 1 || got[0] != i {
+				t.Fatalf("trial %d: got %v, want [%d]", trial, got, i)
+			}
+		}
+		if _, err := b.Recv(); err != ErrClosed {
+			t.Fatalf("trial %d: drained transport returned %v", trial, err)
+		}
+		b.Close()
+	}
+}
+
 func TestUnixStreamRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "ccp.sock")

@@ -55,6 +55,15 @@ func ChanPair(depth int) (Transport, Transport) {
 func (c *chanTransport) Send(msg []byte) error {
 	cp := make([]byte, len(msg))
 	copy(cp, msg)
+	// Check for closure first: a three-way select would pick randomly among
+	// ready cases, letting a send "succeed" into a closed pair's buffer.
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peer.closed:
+		return ErrClosed
+	default:
+	}
 	select {
 	case <-c.closed:
 		return ErrClosed
@@ -66,13 +75,27 @@ func (c *chanTransport) Send(msg []byte) error {
 }
 
 func (c *chanTransport) Recv() ([]byte, error) {
+	// A message already in flight when the peer closes must still be
+	// delivered (a real socket's receive buffer survives the peer's close),
+	// so queued messages win over the peer-closed signal: drain first,
+	// report ErrClosed only once the channel is empty. Closing our own end
+	// still fails immediately.
+	select {
+	case <-c.closed:
+		return nil, ErrClosed
+	default:
+	}
+	select {
+	case msg := <-c.recv:
+		return msg, nil
+	default:
+	}
 	select {
 	case <-c.closed:
 		return nil, ErrClosed
 	case msg := <-c.recv:
 		return msg, nil
 	case <-c.peer.closed:
-		// Drain anything already queued before reporting closure.
 		select {
 		case msg := <-c.recv:
 			return msg, nil

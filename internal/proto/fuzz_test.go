@@ -1,0 +1,70 @@
+package proto
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzUnmarshal throws arbitrary bytes at the decoder. The invariants are
+// the §5 safety argument applied to the wire: no input may panic the
+// decoder, and anything it accepts must be a canonical message — re-encoding
+// it reproduces the input bytes exactly, so a corrupted frame can never
+// silently alias a different valid message. Run under `go test -fuzz` for
+// coverage-guided exploration; the seed corpus alone runs in the normal
+// test suite.
+func FuzzUnmarshal(f *testing.F) {
+	for _, m := range sampleMsgs() {
+		data, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		// Truncations and a corrupted type byte seed the error paths.
+		f.Add(data[:len(data)/2])
+		mut := append([]byte{0xFF}, data[1:]...)
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{byte(TypeInstall), 6, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted message %#v failed to re-marshal: %v", m, err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("non-canonical decode:\n in:  %x\n out: %x\n msg: %#v", data, out, m)
+		}
+	})
+}
+
+// FuzzCreateRoundTrip fuzzes the structured side: any Create that marshals
+// must survive a round trip unchanged (field-for-field), and oversized
+// strings must be rejected at Marshal, never truncated.
+func FuzzCreateRoundTrip(f *testing.F) {
+	f.Add(uint32(1), uint32(1448), uint32(14480), uint32(0), "10.0.0.1:80", "10.0.0.2:80", "cubic")
+	f.Add(uint32(0), uint32(0), uint32(0), uint32(0xFFFFFFFF), "", "", "")
+	f.Fuzz(func(t *testing.T, sid, mss, initCwnd, seq uint32, src, dst, alg string) {
+		in := &Create{SID: sid, MSS: mss, InitCwnd: initCwnd, Seq: seq,
+			SrcAddr: src, DstAddr: dst, Alg: alg}
+		data, err := Marshal(in)
+		if err != nil {
+			if len(src) <= maxStringLen && len(dst) <= maxStringLen && len(alg) <= maxStringLen {
+				t.Fatalf("in-bounds Create rejected: %v", err)
+			}
+			return
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("marshalled Create failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(in, got) {
+			t.Fatalf("round trip mismatch:\n in:  %#v\n out: %#v", in, got)
+		}
+	})
+}

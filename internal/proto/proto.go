@@ -8,8 +8,16 @@
 //
 // Messages are encoded little-endian with uvarint lengths; each Marshal
 // produces exactly one self-contained message (the transport adds framing).
-// Decoding is defensive: lengths are bounded and truncated input returns an
-// error, never a panic.
+// Decoding is defensive: lengths are bounded by both a fixed cap and the
+// remaining input, varints must be minimal (one canonical encoding per
+// message), and truncated or malformed input returns an error, never a
+// panic.
+//
+// Control messages (Install, SetCwnd, SetRate) and datapath events (Create,
+// Urgent) carry a per-flow sequence number so that an unreliable channel —
+// one that reorders or duplicates messages — cannot regress a newer decision
+// or double-count an urgent event. Seq 0 means "unsequenced" and is always
+// accepted; see SeqNewer for the comparison rule.
 package proto
 
 import (
@@ -63,13 +71,19 @@ type Msg interface {
 }
 
 // Create announces a new flow to the agent (triggering the algorithm's
-// Init handler).
+// Init handler). A datapath re-sends Create to resynchronize after an agent
+// restart; Seq then carries the highest control sequence number the datapath
+// has applied, so the restarted agent resumes the flow's sequence space
+// instead of starting below it.
 type Create struct {
 	SID      uint32
 	MSS      uint32
 	InitCwnd uint32 // bytes
-	SrcAddr  string
-	DstAddr  string
+	// Seq is the datapath's last applied control sequence number (0 for a
+	// brand-new flow). The agent's flow state continues numbering above it.
+	Seq     uint32
+	SrcAddr string
+	DstAddr string
 	// Alg optionally requests a specific registered algorithm; empty means
 	// the agent's default.
 	Alg string
@@ -130,8 +144,11 @@ func (k UrgentKind) String() string {
 }
 
 // Urgent reports an urgent event immediately, outside the batching schedule.
+// Seq lets the agent discard a duplicated delivery, which would otherwise
+// double-count a loss event.
 type Urgent struct {
 	SID   uint32
+	Seq   uint32 // urgent sequence number, per flow (0 = unsequenced)
 	Kind  UrgentKind
 	Value float64 // bytes lost (dupack/timeout) or marks seen (ecn)
 }
@@ -141,9 +158,12 @@ type Close struct {
 	SID uint32
 }
 
-// Install carries a serialized lang.Program to the datapath.
+// Install carries a serialized lang.Program to the datapath. Install,
+// SetCwnd, and SetRate share one per-flow control sequence space so a stale
+// decision of any kind can never overwrite a newer one.
 type Install struct {
 	SID  uint32
+	Seq  uint32 // control sequence number (0 = unsequenced)
 	Prog []byte
 }
 
@@ -151,14 +171,22 @@ type Install struct {
 // control program for datapaths without program executors.
 type SetCwnd struct {
 	SID   uint32
+	Seq   uint32 // control sequence number (0 = unsequenced)
 	Bytes uint32
 }
 
 // SetRate directly sets the pacing rate (bytes/sec).
 type SetRate struct {
 	SID uint32
+	Seq uint32 // control sequence number (0 = unsequenced)
 	Bps float64
 }
+
+// SeqNewer reports whether sequence number a is newer than b under
+// wraparound arithmetic (serial number comparison): a is newer when it lies
+// at most 2^31-1 increments ahead of b. Sequence number 0 is reserved for
+// "unsequenced" and should be special-cased by callers before comparing.
+func SeqNewer(a, b uint32) bool { return int32(a-b) > 0 }
 
 func (m *Create) Type() MsgType      { return TypeCreate }
 func (m *Measurement) Type() MsgType { return TypeMeasurement }
@@ -199,6 +227,7 @@ func AppendMarshal(dst []byte, m Msg) ([]byte, error) {
 		b = binary.LittleEndian.AppendUint32(b, v.SID)
 		b = binary.LittleEndian.AppendUint32(b, v.MSS)
 		b = binary.LittleEndian.AppendUint32(b, v.InitCwnd)
+		b = binary.LittleEndian.AppendUint32(b, v.Seq)
 		var err error
 		if b, err = appendStr(b, v.SrcAddr); err != nil {
 			return nil, err
@@ -234,7 +263,11 @@ func AppendMarshal(dst []byte, m Msg) ([]byte, error) {
 			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
 		}
 	case *Urgent:
+		if v.Kind < UrgentDupAck || v.Kind > UrgentECN {
+			return nil, fmt.Errorf("proto: invalid urgent kind %d", v.Kind)
+		}
 		b = binary.LittleEndian.AppendUint32(b, v.SID)
+		b = binary.LittleEndian.AppendUint32(b, v.Seq)
 		b = append(b, byte(v.Kind))
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Value))
 	case *Close:
@@ -244,13 +277,16 @@ func AppendMarshal(dst []byte, m Msg) ([]byte, error) {
 			return nil, fmt.Errorf("proto: program too large (%d bytes)", len(v.Prog))
 		}
 		b = binary.LittleEndian.AppendUint32(b, v.SID)
+		b = binary.LittleEndian.AppendUint32(b, v.Seq)
 		b = binary.AppendUvarint(b, uint64(len(v.Prog)))
 		b = append(b, v.Prog...)
 	case *SetCwnd:
 		b = binary.LittleEndian.AppendUint32(b, v.SID)
+		b = binary.LittleEndian.AppendUint32(b, v.Seq)
 		b = binary.LittleEndian.AppendUint32(b, v.Bytes)
 	case *SetRate:
 		b = binary.LittleEndian.AppendUint32(b, v.SID)
+		b = binary.LittleEndian.AppendUint32(b, v.Seq)
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Bps))
 	default:
 		return nil, fmt.Errorf("proto: cannot marshal %T", m)
@@ -265,14 +301,14 @@ func Unmarshal(data []byte) (Msg, error) {
 	var m Msg
 	switch t {
 	case TypeCreate:
-		v := &Create{SID: d.u32(), MSS: d.u32(), InitCwnd: d.u32()}
+		v := &Create{SID: d.u32(), MSS: d.u32(), InitCwnd: d.u32(), Seq: d.u32()}
 		v.SrcAddr = d.str()
 		v.DstAddr = d.str()
 		v.Alg = d.str()
 		m = v
 	case TypeMeasurement:
 		v := &Measurement{SID: d.u32(), Seq: d.u32()}
-		n := d.length(maxFieldCount)
+		n := d.length(maxFieldCount, 8)
 		if d.err == nil && n > 0 {
 			v.Fields = make([]float64, n)
 			for i := range v.Fields {
@@ -282,7 +318,7 @@ func Unmarshal(data []byte) (Msg, error) {
 		m = v
 	case TypeVector:
 		v := &Vector{SID: d.u32(), Seq: d.u32(), NumFields: d.byte()}
-		n := d.length(maxVectorLen)
+		n := d.length(maxVectorLen, 8)
 		if d.err == nil {
 			if v.NumFields == 0 || n%int(v.NumFields) != 0 {
 				return nil, fmt.Errorf("proto: vector shape %d x %d invalid", n, v.NumFields)
@@ -294,18 +330,22 @@ func Unmarshal(data []byte) (Msg, error) {
 		}
 		m = v
 	case TypeUrgent:
-		m = &Urgent{SID: d.u32(), Kind: UrgentKind(d.byte()), Value: d.f64()}
+		v := &Urgent{SID: d.u32(), Seq: d.u32(), Kind: UrgentKind(d.byte()), Value: d.f64()}
+		if d.err == nil && (v.Kind < UrgentDupAck || v.Kind > UrgentECN) {
+			return nil, fmt.Errorf("proto: invalid urgent kind %d", v.Kind)
+		}
+		m = v
 	case TypeClose:
 		m = &Close{SID: d.u32()}
 	case TypeInstall:
-		v := &Install{SID: d.u32()}
-		n := d.length(maxProgramSize)
+		v := &Install{SID: d.u32(), Seq: d.u32()}
+		n := d.length(maxProgramSize, 1)
 		v.Prog = d.bytes(n)
 		m = v
 	case TypeSetCwnd:
-		m = &SetCwnd{SID: d.u32(), Bytes: d.u32()}
+		m = &SetCwnd{SID: d.u32(), Seq: d.u32(), Bytes: d.u32()}
 	case TypeSetRate:
-		m = &SetRate{SID: d.u32(), Bps: d.f64()}
+		m = &SetRate{SID: d.u32(), Seq: d.u32(), Bps: d.f64()}
 	default:
 		return nil, fmt.Errorf("proto: unknown message type %d", t)
 	}
@@ -360,19 +400,37 @@ func (d *decoder) f64() float64 {
 	return v
 }
 
-func (d *decoder) length(max int) int {
+// length decodes a uvarint element count. It rejects non-minimal varint
+// encodings (keeping the wire format canonical: one byte sequence per
+// message) and counts whose payload could not fit in the remaining input, so
+// a corrupt length can never drive an allocation larger than the message
+// itself.
+func (d *decoder) length(max, elemSize int) int {
 	if d.err != nil {
 		return 0
 	}
 	v, n := binary.Uvarint(d.data[d.pos:])
-	if n <= 0 || v > uint64(max) {
-		if d.err == nil {
-			d.err = fmt.Errorf("proto: bad length")
-		}
+	if n <= 0 || v > uint64(max) || n != uvarintLen(v) {
+		d.err = fmt.Errorf("proto: bad length")
 		return 0
 	}
 	d.pos += n
+	if int(v)*elemSize > len(d.data)-d.pos {
+		d.fail()
+		return 0
+	}
 	return int(v)
+}
+
+// uvarintLen returns the number of bytes of the minimal uvarint encoding
+// of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 func (d *decoder) bytes(n int) []byte {

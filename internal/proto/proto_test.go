@@ -11,17 +11,18 @@ func sampleMsgs() []Msg {
 	return []Msg{
 		&Create{SID: 7, MSS: 1460, InitCwnd: 14600, SrcAddr: "10.0.0.1:4242", DstAddr: "10.0.0.2:80", Alg: "cubic"},
 		&Create{SID: 0},
+		&Create{SID: 11, MSS: 1448, InitCwnd: 28960, Seq: 1042, Alg: "reno"}, // resync replay
 		&Measurement{SID: 1, Seq: 99, Fields: []float64{0.01, 2.5e6, 1.25e6, 14600, 0, 0.25, 0.012}},
 		&Measurement{SID: 2, Seq: 0, Fields: nil},
 		&Vector{SID: 3, Seq: 5, NumFields: 3, Data: []float64{1, 2, 3, 4, 5, 6}},
-		&Urgent{SID: 4, Kind: UrgentDupAck, Value: 2920},
-		&Urgent{SID: 4, Kind: UrgentTimeout, Value: 14600},
+		&Urgent{SID: 4, Seq: 1, Kind: UrgentDupAck, Value: 2920},
+		&Urgent{SID: 4, Seq: 2, Kind: UrgentTimeout, Value: 14600},
 		&Urgent{SID: 4, Kind: UrgentECN, Value: 3},
 		&Close{SID: 5},
-		&Install{SID: 6, Prog: []byte{0xCC, 1, 0, 1, 0x14, 0}},
+		&Install{SID: 6, Seq: 3, Prog: []byte{0xCC, 1, 0, 1, 0x14, 0}},
 		&Install{SID: 6, Prog: nil},
-		&SetCwnd{SID: 8, Bytes: 29200},
-		&SetRate{SID: 9, Bps: 1.25e9},
+		&SetCwnd{SID: 8, Seq: 7, Bytes: 29200},
+		&SetRate{SID: 9, Seq: 8, Bps: 1.25e9},
 	}
 }
 
@@ -50,9 +51,9 @@ func TestRoundTripAll(t *testing.T) {
 
 func TestTypeAndSID(t *testing.T) {
 	wantTypes := []MsgType{
-		TypeCreate, TypeCreate, TypeMeasurement, TypeMeasurement, TypeVector,
-		TypeUrgent, TypeUrgent, TypeUrgent, TypeClose, TypeInstall, TypeInstall,
-		TypeSetCwnd, TypeSetRate,
+		TypeCreate, TypeCreate, TypeCreate, TypeMeasurement, TypeMeasurement,
+		TypeVector, TypeUrgent, TypeUrgent, TypeUrgent, TypeClose, TypeInstall,
+		TypeInstall, TypeSetCwnd, TypeSetRate,
 	}
 	for i, m := range sampleMsgs() {
 		if m.Type() != wantTypes[i] {
@@ -116,6 +117,56 @@ func TestUnmarshalErrors(t *testing.T) {
 	for _, data := range cases {
 		if _, err := Unmarshal(data); err == nil {
 			t.Errorf("Unmarshal(%v) succeeded", data)
+		}
+	}
+}
+
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	// An Install claiming more program bytes than the message holds must be
+	// rejected before allocating, and a non-minimal varint length must not
+	// decode (the encoding is canonical).
+	hdr := []byte{byte(TypeInstall), 6, 0, 0, 0, 0, 0, 0, 0} // SID=6, Seq=0
+	overclaim := append(append([]byte{}, hdr...), 0xFF, 0xFF, 0x03)
+	if _, err := Unmarshal(overclaim); err == nil {
+		t.Fatal("length beyond input accepted")
+	}
+	nonMinimal := append(append([]byte{}, hdr...), 0x81, 0x00, 0xCC) // len=1 in two bytes
+	if _, err := Unmarshal(nonMinimal); err == nil {
+		t.Fatal("non-minimal varint accepted")
+	}
+	minimal := append(append([]byte{}, hdr...), 0x01, 0xCC)
+	if _, err := Unmarshal(minimal); err != nil {
+		t.Fatalf("minimal encoding rejected: %v", err)
+	}
+	// An Urgent with an out-of-range kind is not a valid message.
+	badKind, err := Marshal(&Urgent{SID: 1, Kind: UrgentDupAck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	badKind[9] = 200 // kind byte follows SID+Seq
+	if _, err := Unmarshal(badKind); err == nil {
+		t.Fatal("invalid urgent kind accepted")
+	}
+	if _, err := Marshal(&Urgent{SID: 1, Kind: UrgentKind(99)}); err == nil {
+		t.Fatal("invalid urgent kind marshalled")
+	}
+}
+
+func TestSeqNewer(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		want bool
+	}{
+		{2, 1, true},
+		{1, 2, false},
+		{1, 1, false},
+		{1, 0xFFFFFFFF, true},  // wraparound: 1 is newer than 2^32-1
+		{0xFFFFFFFF, 1, false}, // and not vice versa
+		{0x80000001, 1, false}, // half the space or more ahead: treated stale
+	}
+	for _, c := range cases {
+		if got := SeqNewer(c.a, c.b); got != c.want {
+			t.Errorf("SeqNewer(%d, %d)=%v, want %v", c.a, c.b, got, c.want)
 		}
 	}
 }
