@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt check fuzz-smoke examples experiments clean
+.PHONY: all build test test-short bench bench-scale vet fmt check fuzz-smoke examples experiments clean
 
 all: build test
 
@@ -20,6 +20,13 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(MAKE) bench-scale
+
+# Flow-scale benchmark (1→1000 flows through the sharded runtime). The
+# default seed is fixed, so BENCH_scale.json is deterministic up to
+# machine-dependent timing fields.
+bench-scale:
+	$(GO) run ./cmd/ccp-loadgen -json BENCH_scale.json
 
 vet:
 	$(GO) vet ./...

@@ -12,6 +12,7 @@ package ccp
 import (
 	"math"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"github.com/ccp-repro/ccp/internal/netsim"
 	"github.com/ccp-repro/ccp/internal/offload"
 	"github.com/ccp-repro/ccp/internal/proto"
+	ccpruntime "github.com/ccp-repro/ccp/internal/runtime"
 	"github.com/ccp-repro/ccp/internal/tcp"
 )
 
@@ -142,6 +144,57 @@ func BenchmarkProtoMeasurementRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Marshal alone: the datapath-side cost of encoding one report.
+func BenchmarkProtoMeasurementMarshal(b *testing.B) {
+	m := &proto.Measurement{SID: 1, Seq: 42, Fields: []float64{0.01, 2.5e6, 1.2e6, 14480, 0, 0.1, 0.012}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := proto.Marshal(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Unmarshal alone: the agent-side cost of decoding one report (the
+// canonical-form checks included).
+func BenchmarkProtoMeasurementUnmarshal(b *testing.B) {
+	m := &proto.Measurement{SID: 1, Seq: 42, Fields: []float64{0.01, 2.5e6, 1.2e6, 14480, 0, 0.1, 0.012}}
+	data, err := proto.Marshal(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proto.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Batched IPC: a 64-report frame through the serializer, reported per
+// report — the amortization the §4 batching argument buys.
+func BenchmarkProtoBatchRoundTrip64(b *testing.B) {
+	batch := &proto.Batch{}
+	for i := 0; i < 64; i++ {
+		batch.Msgs = append(batch.Msgs, &proto.Measurement{
+			SID: uint32(i%8 + 1), Seq: uint32(i + 1),
+			Fields: []float64{0.01, 2.5e6, 1.2e6, 14480, 0, 0.1, 0.012},
+		})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := proto.Marshal(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := proto.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/64, "ns/report")
 }
 
 // Program installation: agent-side marshal + datapath-side unmarshal and
@@ -324,6 +377,45 @@ func BenchmarkAgentDispatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		agent.HandleMessage(m, reply)
 	}
+}
+
+// Sharded runtime dispatch: the same per-report path as BenchmarkAgentDispatch
+// but through the flow-affine sharded executor, fed from parallel producers —
+// the scaling story of the loadgen benchmark in microbenchmark form.
+func BenchmarkRuntimeShardedDispatch(b *testing.B) {
+	rt, err := ccpruntime.New(ccpruntime.Config{
+		Shards: 4,
+		Agent: core.AgentConfig{
+			Registry:   algorithms.NewRegistry(),
+			DefaultAlg: "reno",
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	reply := func(proto.Msg) error { return nil }
+	const flows = 16
+	for sid := uint32(1); sid <= flows; sid++ {
+		rt.HandleMessage(&proto.Create{SID: sid, MSS: 1448, InitCwnd: 14480}, reply)
+	}
+	rt.Drain()
+	var next uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		sid := atomic.AddUint32(&next, 1)%flows + 1
+		seq := uint32(0)
+		for pb.Next() {
+			seq++
+			rt.HandleMessage(&proto.Measurement{
+				SID: sid, Seq: seq,
+				Fields: []float64{0.01, 1e6, 1e6, 14480, 0, 0, 0.01},
+			}, reply)
+		}
+	})
+	b.StopTimer()
+	rt.Drain()
 }
 
 // Simulator throughput: raw event rate, the cost floor of every experiment.

@@ -1,0 +1,81 @@
+// Command ccp-loadgen runs the flow-scale benchmark: a closed-loop load
+// generator drives 1→1000 flows through the sharded agent runtime over an
+// in-process transport, measuring report throughput, report-to-decision
+// latency, and the IPC message reduction report batching buys (the §4
+// scaling argument, measured rather than simulated).
+//
+// Usage:
+//
+//	ccp-loadgen                          # default steps, table to stdout
+//	ccp-loadgen -json BENCH_scale.json   # also write machine-readable output
+//	ccp-loadgen -flows 1,10,100,1000 -reports 200 -shards 8 -interval 1ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/experiments"
+)
+
+func main() {
+	var (
+		flows    = flag.String("flows", "1,10,100,1000", "comma-separated flow-count steps")
+		reports  = flag.Int("reports", 200, "closed-loop reports per flow per step")
+		shards   = flag.Int("shards", 0, "runtime shards (0 = GOMAXPROCS)")
+		interval = flag.Duration("interval", time.Millisecond, "batch coalescing window")
+		maxBatch = flag.Int("max-batch", 64, "max reports per batch frame")
+		seed     = flag.Int64("seed", 1, "seed for generated report contents")
+		jsonOut  = flag.String("json", "", "write BENCH_scale.json-style output to this path")
+	)
+	flag.Parse()
+
+	counts, err := parseFlows(*flows)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccp-loadgen: %v\n", err)
+		os.Exit(2)
+	}
+	res, err := experiments.Scale(experiments.ScaleConfig{
+		FlowCounts:     counts,
+		ReportsPerFlow: *reports,
+		Shards:         *shards,
+		BatchInterval:  *interval,
+		MaxBatchMsgs:   *maxBatch,
+		Seed:           *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccp-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.String())
+	if *jsonOut != "" {
+		if err := res.WriteJSON(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ccp-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}
+
+func parseFlows(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad flow count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no flow counts in %q", s)
+	}
+	return out, nil
+}

@@ -12,6 +12,8 @@
 package algorithms
 
 import (
+	"sort"
+
 	"github.com/ccp-repro/ccp/internal/core"
 )
 
@@ -121,6 +123,19 @@ func All() []Info {
 			Factory:      func() core.Alg { return NewSynthesizedAIMD(1, 0.5) },
 		},
 	}
+}
+
+// Names returns every bundled algorithm's name, sorted. Listings (CLI
+// output, logs, experiment headers) use this deterministic order; Table 1
+// reproduction order lives in All.
+func Names() []string {
+	infos := All()
+	out := make([]string, 0, len(infos))
+	for _, info := range infos {
+		out = append(out, info.Name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Register adds every bundled algorithm to reg.

@@ -8,11 +8,17 @@ package bridge
 import (
 	"time"
 
-	"github.com/ccp-repro/ccp/internal/core"
 	"github.com/ccp-repro/ccp/internal/datapath"
 	"github.com/ccp-repro/ccp/internal/netsim"
 	"github.com/ccp-repro/ccp/internal/proto"
 )
+
+// Handler consumes datapath→agent messages: a *core.Agent or a sharded
+// *runtime.Runtime both satisfy it, so simulations can swap the single-loop
+// agent for the sharded executor without touching the bridge.
+type Handler interface {
+	HandleMessage(m proto.Msg, reply func(proto.Msg) error)
+}
 
 // Stats counts bridge traffic, for the CPU/message accounting experiments.
 type Stats struct {
@@ -29,7 +35,7 @@ type Stats struct {
 // fallback experiment).
 type Bridge struct {
 	sim     *netsim.Sim
-	agent   *core.Agent
+	agent   Handler
 	latency time.Duration
 	stopped bool
 	// gen counts Stop calls. Deliveries capture the generation they were
@@ -41,7 +47,7 @@ type Bridge struct {
 }
 
 // New creates a bridge to agent with the given one-way IPC latency.
-func New(sim *netsim.Sim, agent *core.Agent, latency time.Duration) *Bridge {
+func New(sim *netsim.Sim, agent Handler, latency time.Duration) *Bridge {
 	return &Bridge{sim: sim, agent: agent, latency: latency}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"github.com/ccp-repro/ccp/internal/ipc"
 	"github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/metrics"
 	"github.com/ccp-repro/ccp/internal/proto"
 )
 
@@ -20,6 +21,9 @@ type AgentConfig struct {
 	Policy PolicyFunc
 	// Logf, if set, receives diagnostic messages.
 	Logf func(format string, args ...any)
+	// Metrics, if set, receives agent counters (reports processed, batch
+	// sizes, flow churn) alongside the AgentStats snapshot. Nil is valid.
+	Metrics *metrics.Registry
 }
 
 // AgentStats counts the agent's activity.
@@ -41,6 +45,10 @@ type AgentStats struct {
 	// StaleReports counts measurements and vectors discarded because a newer
 	// report had already been processed.
 	StaleReports int
+	// Batches counts multi-report frames unpacked; BatchedMsgs counts the
+	// messages they carried.
+	Batches     int
+	BatchedMsgs int
 }
 
 // Agent is the user-space congestion control plane: it multiplexes flows
@@ -54,6 +62,15 @@ type Agent struct {
 	mu    sync.Mutex
 	flows map[uint32]*flowState
 	stats AgentStats
+
+	// Cached metrics instruments (detached no-ops when cfg.Metrics is nil),
+	// so the hot path never does a registry lookup.
+	mReports   *metrics.Counter
+	mUrgents   *metrics.Counter
+	mCreated   *metrics.Counter
+	mClosed    *metrics.Counter
+	mBatchSize *metrics.Histogram
+	mLiveFlows *metrics.Gauge
 }
 
 type flowState struct {
@@ -91,7 +108,16 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if _, ok := cfg.Registry.New(cfg.DefaultAlg); !ok {
 		return nil, fmt.Errorf("core: default algorithm %q not registered", cfg.DefaultAlg)
 	}
-	return &Agent{cfg: cfg, flows: make(map[uint32]*flowState)}, nil
+	return &Agent{
+		cfg:        cfg,
+		flows:      make(map[uint32]*flowState),
+		mReports:   cfg.Metrics.Counter("agent_reports_total"),
+		mUrgents:   cfg.Metrics.Counter("agent_urgents_total"),
+		mCreated:   cfg.Metrics.Counter("agent_flows_created_total"),
+		mClosed:    cfg.Metrics.Counter("agent_flows_closed_total"),
+		mBatchSize: cfg.Metrics.Histogram("agent_batch_size"),
+		mLiveFlows: cfg.Metrics.Gauge("agent_live_flows"),
+	}, nil
 }
 
 // Stats returns a snapshot of the agent counters.
@@ -111,9 +137,30 @@ func (a *Agent) FlowCount() int {
 // HandleMessage processes one datapath→agent message. reply transmits
 // agent→datapath messages for the flow's datapath (it is captured by the
 // flow created on Create, so each datapath keeps its own channel).
+//
+// A *proto.Batch is unpacked here and processed in order under one lock
+// acquisition — the agent-side half of the §4 batching amortization.
 func (a *Agent) HandleMessage(m proto.Msg, reply func(proto.Msg) error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if b, ok := m.(*proto.Batch); ok {
+		a.stats.Batches++
+		a.stats.BatchedMsgs += len(b.Msgs)
+		a.mBatchSize.Observe(float64(len(b.Msgs)))
+		for _, sub := range b.Msgs {
+			if _, nested := sub.(*proto.Batch); nested {
+				a.stats.Errors++ // the decoder rejects these; defend anyway
+				continue
+			}
+			a.handleLocked(sub, reply)
+		}
+		return
+	}
+	a.handleLocked(m, reply)
+}
+
+// handleLocked dispatches one non-batch message; a.mu must be held.
+func (a *Agent) handleLocked(m proto.Msg, reply func(proto.Msg) error) {
 	switch v := m.(type) {
 	case *proto.Create:
 		a.handleCreate(v, reply)
@@ -128,6 +175,7 @@ func (a *Agent) HandleMessage(m proto.Msg, reply func(proto.Msg) error) {
 			return
 		}
 		a.stats.Measurements++
+		a.mReports.Inc()
 		st.flow.reports++
 		names := st.flow.reportNames()
 		meas := Measurement{Seq: v.Seq, Names: names, Values: v.Fields}
@@ -143,6 +191,7 @@ func (a *Agent) HandleMessage(m proto.Msg, reply func(proto.Msg) error) {
 			return
 		}
 		a.stats.Vectors++
+		a.mReports.Inc()
 		st.flow.reports++
 		fields := st.flow.vectorFields()
 		meas := Measurement{Seq: v.Seq, Names: st.flow.reportNames()}
@@ -163,6 +212,7 @@ func (a *Agent) HandleMessage(m proto.Msg, reply func(proto.Msg) error) {
 			return
 		}
 		a.stats.Urgents++
+		a.mUrgents.Inc()
 		st.flow.urgents++
 		st.alg.OnUrgent(st.flow, UrgentEvent{Kind: v.Kind, Value: v.Value})
 	case *proto.Close:
@@ -176,6 +226,8 @@ func (a *Agent) HandleMessage(m proto.Msg, reply func(proto.Msg) error) {
 		}
 		delete(a.flows, v.SID)
 		a.stats.FlowsClosed++
+		a.mClosed.Inc()
+		a.mLiveFlows.Set(int64(len(a.flows)))
 	default:
 		a.stats.Errors++
 		a.logf("agent: unexpected message %T", m)
@@ -226,6 +278,8 @@ func (a *Agent) handleCreate(v *proto.Create, reply func(proto.Msg) error) {
 	}
 	a.flows[v.SID] = &flowState{flow: flow, alg: alg, createSeq: v.Seq}
 	a.stats.FlowsCreated++
+	a.mCreated.Inc()
+	a.mLiveFlows.Set(int64(len(a.flows)))
 	alg.Init(flow)
 }
 

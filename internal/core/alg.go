@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/ccp-repro/ccp/internal/lang"
 	"github.com/ccp-repro/ccp/internal/proto"
@@ -102,7 +103,6 @@ type AlgFactory func() Alg
 // multiple agents.
 type Registry struct {
 	factories map[string]AlgFactory
-	order     []string
 }
 
 // NewRegistry returns an empty registry.
@@ -120,7 +120,6 @@ func (r *Registry) Register(name string, f AlgFactory) {
 		panic(fmt.Sprintf("core: algorithm %q registered twice", name))
 	}
 	r.factories[name] = f
-	r.order = append(r.order, name)
 }
 
 // New instantiates the named algorithm.
@@ -132,9 +131,15 @@ func (r *Registry) New(name string) (Alg, bool) {
 	return f(), true
 }
 
-// Names returns the registered algorithm names in registration order.
+// Names returns the registered algorithm names, sorted. Sorted — not
+// registration — order makes every listing (CLI output, experiment tables,
+// logs) stable regardless of how the registry was assembled, so run output
+// diffs cleanly across refactors that shuffle registration.
 func (r *Registry) Names() []string {
-	out := make([]string, len(r.order))
-	copy(out, r.order)
+	out := make([]string, 0, len(r.factories))
+	for name := range r.factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
 	return out
 }

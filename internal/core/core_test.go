@@ -317,12 +317,13 @@ func TestRegistryDuplicatePanics(t *testing.T) {
 }
 
 func TestRegistryNames(t *testing.T) {
+	// Sorted regardless of registration order, so listings are stable.
 	reg := NewRegistry()
 	reg.Register("b", func() Alg { return &recordAlg{} })
 	reg.Register("a", func() Alg { return &recordAlg{} })
 	names := reg.Names()
-	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
-		t.Fatalf("names=%v (want registration order)", names)
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names=%v (want sorted order)", names)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/metrics"
 	"github.com/ccp-repro/ccp/internal/nativecc"
 	"github.com/ccp-repro/ccp/internal/netsim"
 	"github.com/ccp-repro/ccp/internal/proto"
@@ -53,6 +54,21 @@ type Config struct {
 	// due to per-RTT congestion window updates"). Decreases still apply
 	// immediately.
 	SmoothCwnd bool
+	// BatchInterval coalesces report messages (Measurement, Vector) into
+	// proto.Batch frames flushed at most every interval; 0 sends every
+	// report as its own IPC message (the pre-batching behaviour,
+	// bit-identical). Urgent events, Create, and Close bypass coalescing
+	// but flush pending reports first, preserving per-flow ordering. This
+	// is the paper's §4 trade-off knob: a longer interval amortizes
+	// per-message IPC cost over more reports at the price of added control
+	// staleness.
+	BatchInterval time.Duration
+	// MaxBatchMsgs flushes a partial batch early once it holds this many
+	// reports (default 64, capped at proto.MaxBatchMsgs).
+	MaxBatchMsgs int
+	// Metrics optionally receives datapath counters (reports sent, batch
+	// sizes, fallback activations). Nil is valid.
+	Metrics *metrics.Registry
 }
 
 // Stats counts the runtime's activity for experiments and tests.
@@ -79,6 +95,11 @@ type Stats struct {
 	// UnexpectedMsgs counts agent messages of a type the datapath does not
 	// handle; they are ignored rather than trusted.
 	UnexpectedMsgs int
+	// BatchesSent counts multi-report frames shipped; BatchedReports counts
+	// the reports they carried (a batch of one is sent plain and counts
+	// under neither).
+	BatchesSent    int
+	BatchedReports int
 }
 
 // CCP is the datapath runtime for one flow. It implements
@@ -130,6 +151,16 @@ type CCP struct {
 	cwndStep    int
 	smoothTimer netsim.Timer
 
+	// Report coalescing (§4 batching).
+	pending    []proto.Msg
+	batchTimer netsim.Timer
+
+	// Cached metrics instruments (detached no-ops when cfg.Metrics is nil).
+	mReportsSent *metrics.Counter
+	mUrgentsSent *metrics.Counter
+	mBatchSize   *metrics.Histogram
+	mFallbackOn  *metrics.Counter
+
 	stats Stats
 }
 
@@ -145,12 +176,22 @@ func New(cfg Config) *CCP {
 	if cfg.ToAgent == nil {
 		panic("datapath: Config.ToAgent is required")
 	}
+	if cfg.MaxBatchMsgs <= 0 {
+		cfg.MaxBatchMsgs = 64
+	}
+	if cfg.MaxBatchMsgs > proto.MaxBatchMsgs {
+		cfg.MaxBatchMsgs = proto.MaxBatchMsgs
+	}
 	return &CCP{
-		cfg:      cfg,
-		fallback: nativecc.NewNewReno(),
-		ewmaRtt:  stats.NewEWMA(0.125),
-		ewmaSnd:  stats.NewEWMA(0.25),
-		ewmaRcv:  stats.NewEWMA(0.25),
+		cfg:          cfg,
+		fallback:     nativecc.NewNewReno(),
+		ewmaRtt:      stats.NewEWMA(0.125),
+		ewmaSnd:      stats.NewEWMA(0.25),
+		ewmaRcv:      stats.NewEWMA(0.25),
+		mReportsSent: cfg.Metrics.Counter("dp_reports_sent_total"),
+		mUrgentsSent: cfg.Metrics.Counter("dp_urgents_sent_total"),
+		mBatchSize:   cfg.Metrics.Histogram("dp_batch_size"),
+		mFallbackOn:  cfg.Metrics.Counter("dp_fallback_on_total"),
 	}
 }
 
@@ -199,6 +240,7 @@ func (d *CCP) Init(c *tcp.Conn) {
 
 // Close implements tcp.CongestionControl.
 func (d *CCP) Close(c *tcp.Conn) {
+	d.flushBatch()
 	d.send(&proto.Close{SID: d.cfg.SID})
 	if d.waitTimer != nil {
 		d.waitTimer.Stop()
@@ -348,6 +390,7 @@ func (d *CCP) Resync() {
 		return
 	}
 	d.stats.Resyncs++
+	d.flushBatch()
 	d.send(&proto.Create{
 		SID:      d.cfg.SID,
 		MSS:      uint32(d.conn.MSS()),
@@ -549,8 +592,9 @@ func (d *CCP) report() {
 	switch d.measureMode() {
 	case lang.MeasureFold:
 		fields := d.fold.ReadRegs(d.vars, make([]float64, 0, d.fold.NumRegs()))
-		d.send(&proto.Measurement{SID: d.cfg.SID, Seq: d.reportSeq, Fields: fields})
+		d.sendReport(&proto.Measurement{SID: d.cfg.SID, Seq: d.reportSeq, Fields: fields})
 		d.stats.ReportsSent++
+		d.mReportsSent.Inc()
 		d.fold.InitRegs(d.vars)
 	case lang.MeasureVector:
 		if len(d.vecFields) == 0 {
@@ -559,13 +603,14 @@ func (d *CCP) report() {
 		data := make([]float64, len(d.vec))
 		copy(data, d.vec)
 		d.vec = d.vec[:0]
-		d.send(&proto.Vector{
+		d.sendReport(&proto.Vector{
 			SID:       d.cfg.SID,
 			Seq:       d.reportSeq,
 			NumFields: uint8(len(d.vecFields)),
 			Data:      data,
 		})
 		d.stats.VectorsSent++
+		d.mReportsSent.Inc()
 		d.stats.VectorRowsSent += len(data) / len(d.vecFields)
 	default: // EWMA (§3 prototype report)
 		ecnFrac := 0.0
@@ -581,8 +626,9 @@ func (d *CCP) report() {
 			ecnFrac,
 			d.lastRtt,
 		}
-		d.send(&proto.Measurement{SID: d.cfg.SID, Seq: d.reportSeq, Fields: fields})
+		d.sendReport(&proto.Measurement{SID: d.cfg.SID, Seq: d.reportSeq, Fields: fields})
 		d.stats.ReportsSent++
+		d.mReportsSent.Inc()
 		d.ackedAcc, d.lostAcc = 0, 0
 		d.pktsAcc, d.ecnAcc = 0, 0
 	}
@@ -590,7 +636,12 @@ func (d *CCP) report() {
 
 func (d *CCP) sendUrgent(kind proto.UrgentKind, value float64) {
 	d.stats.UrgentsSent++
+	d.mUrgentsSent.Inc()
 	d.urgentSeq++
+	// Urgent events must not queue behind a batch window (§2.1), but flushing
+	// first keeps the per-flow order the agent observes identical to the
+	// unbatched schedule's.
+	d.flushBatch()
 	d.send(&proto.Urgent{SID: d.cfg.SID, Seq: d.urgentSeq, Kind: kind, Value: value})
 }
 
@@ -598,6 +649,54 @@ func (d *CCP) send(m proto.Msg) {
 	if err := d.cfg.ToAgent(m); err != nil {
 		d.stats.SendErrors++
 	}
+}
+
+// sendReport ships a report message, coalescing it into a pending batch when
+// BatchInterval is set. The batch flushes when the interval elapses or the
+// batch fills, whichever comes first; a batch that drained to a single
+// message is sent plain, so shipping one report costs exactly the unbatched
+// encoding.
+func (d *CCP) sendReport(m proto.Msg) {
+	if d.cfg.BatchInterval <= 0 {
+		d.send(m)
+		return
+	}
+	d.pending = append(d.pending, m)
+	if len(d.pending) >= d.cfg.MaxBatchMsgs {
+		d.flushBatch()
+		return
+	}
+	if d.batchTimer == nil {
+		d.batchTimer = d.cfg.Clock.AfterFunc(d.cfg.BatchInterval, func() {
+			d.batchTimer = nil
+			d.flushBatch()
+		})
+	}
+}
+
+// flushBatch ships any coalesced reports immediately. Safe to call with an
+// empty pending buffer.
+func (d *CCP) flushBatch() {
+	if d.batchTimer != nil {
+		d.batchTimer.Stop()
+		d.batchTimer = nil
+	}
+	if len(d.pending) == 0 {
+		return
+	}
+	if len(d.pending) == 1 {
+		m := d.pending[0]
+		d.pending = d.pending[:0]
+		d.send(m)
+		return
+	}
+	msgs := make([]proto.Msg, len(d.pending))
+	copy(msgs, d.pending)
+	d.pending = d.pending[:0]
+	d.stats.BatchesSent++
+	d.stats.BatchedReports += len(msgs)
+	d.mBatchSize.Observe(float64(len(msgs)))
+	d.send(&proto.Batch{Msgs: msgs})
 }
 
 // applyCwnd routes a window update through the smoothing ramp when enabled:
@@ -674,6 +773,7 @@ func (d *CCP) armWatchdog() {
 		if !d.fallbackActive && now-d.lastAgentMsg > d.cfg.FallbackAfter {
 			d.fallbackActive = true
 			d.stats.FallbackOn++
+			d.mFallbackOn.Inc()
 			if d.waitTimer != nil {
 				d.waitTimer.Stop()
 				d.waitTimer = nil

@@ -1,0 +1,400 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/core"
+	"github.com/ccp-repro/ccp/internal/ipc"
+	"github.com/ccp-repro/ccp/internal/proto"
+	ccpruntime "github.com/ccp-repro/ccp/internal/runtime"
+	"github.com/ccp-repro/ccp/internal/stats"
+)
+
+// ScaleConfig parameterizes the flow-scale benchmark: the §4 argument that a
+// user-space agent scales to many flows once per-report IPC cost is
+// amortized by batching. Unlike the figure experiments this is a real
+// measurement (wall clock, goroutines, a real transport), not a simulation:
+// a closed-loop load generator drives 1→1000 flows through the sharded
+// agent runtime over an in-process transport and measures report throughput,
+// report-to-decision latency, and the IPC message reduction batching buys.
+type ScaleConfig struct {
+	// FlowCounts are the load steps (default 1, 10, 100, 1000).
+	FlowCounts []int
+	// ReportsPerFlow is the closed-loop depth per flow per step (default 200).
+	ReportsPerFlow int
+	// Shards is the runtime's shard count (default GOMAXPROCS, min 2).
+	Shards int
+	// BatchInterval is the datapath-side coalescing window for the batched
+	// condition (default 1ms — roughly one datacenter RTT, the paper's
+	// natural control interval).
+	BatchInterval time.Duration
+	// MaxBatchMsgs caps a coalesced frame (default 64).
+	MaxBatchMsgs int
+	// Seed makes generated report contents deterministic (default 1).
+	Seed int64
+	// Timeout aborts a wedged step (default 60s).
+	Timeout time.Duration
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if len(c.FlowCounts) == 0 {
+		c.FlowCounts = []int{1, 10, 100, 1000}
+	}
+	if c.ReportsPerFlow == 0 {
+		c.ReportsPerFlow = 200
+	}
+	if c.Shards == 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards < 2 {
+			c.Shards = 2
+		}
+	}
+	if c.BatchInterval == 0 {
+		c.BatchInterval = time.Millisecond
+	}
+	if c.MaxBatchMsgs == 0 {
+		c.MaxBatchMsgs = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 60 * time.Second
+	}
+	return c
+}
+
+// ScalePoint is one load step's measurements.
+type ScalePoint struct {
+	Flows   int `json:"flows"`
+	Reports int `json:"reports"` // total reports processed at this step
+
+	// Setup throughput: flow announcements per second.
+	SetupSec    float64 `json:"setup_sec"`
+	FlowsPerSec float64 `json:"flows_per_sec"`
+
+	// Steady-state report throughput (batched condition).
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	ReportsPerSec float64 `json:"reports_per_sec"`
+
+	// Report-to-decision latency in microseconds (batched condition):
+	// the closed-loop time from generating a report to observing the
+	// agent's decision for it, including coalescing staleness.
+	LatencyP50Us float64 `json:"latency_p50_us"`
+	LatencyP99Us float64 `json:"latency_p99_us"`
+	LatencyMaxUs float64 `json:"latency_max_us"`
+
+	// IPC accounting: wire frames carrying the same logical report stream
+	// without and with coalescing, and the resulting reduction factor.
+	WireMsgsUnbatched int64   `json:"wire_msgs_unbatched"`
+	WireMsgsBatched   int64   `json:"wire_msgs_batched"`
+	IPCReduction      float64 `json:"ipc_reduction"`
+
+	// MeanBatch is the average reports per batched frame.
+	MeanBatch float64 `json:"mean_batch"`
+}
+
+// ScaleResult is the benchmark output (serialized to BENCH_scale.json).
+type ScaleResult struct {
+	Config         ScaleConfig  `json:"-"`
+	Shards         int          `json:"shards"`
+	GOMAXPROCS     int          `json:"gomaxprocs"`
+	BatchMs        float64      `json:"batch_interval_ms"`
+	ReportsPerFlow int          `json:"reports_per_flow"`
+	Seed           int64        `json:"seed"`
+	Points         []ScalePoint `json:"points"`
+}
+
+// loadAlg is the benchmark's algorithm: exactly one decision per report, so
+// the closed loop is well defined.
+type loadAlg struct{}
+
+func (loadAlg) Name() string                                   { return "load" }
+func (loadAlg) Init(f *core.Flow)                              {}
+func (loadAlg) OnMeasurement(f *core.Flow, m core.Measurement) { _ = f.SetCwnd(int(m.Seq)*1448 + 1448) }
+func (loadAlg) OnUrgent(f *core.Flow, u core.UrgentEvent)      {}
+
+// Scale runs every load step under both IPC conditions.
+func Scale(cfg ScaleConfig) (ScaleResult, error) {
+	cfg = cfg.withDefaults()
+	res := ScaleResult{
+		Config:         cfg,
+		Shards:         cfg.Shards,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		BatchMs:        float64(cfg.BatchInterval) / float64(time.Millisecond),
+		ReportsPerFlow: cfg.ReportsPerFlow,
+		Seed:           cfg.Seed,
+	}
+	for _, flows := range cfg.FlowCounts {
+		plain, err := scaleStep(cfg, flows, false)
+		if err != nil {
+			return res, fmt.Errorf("scale %d flows unbatched: %w", flows, err)
+		}
+		batched, err := scaleStep(cfg, flows, true)
+		if err != nil {
+			return res, fmt.Errorf("scale %d flows batched: %w", flows, err)
+		}
+		p := batched.point
+		p.WireMsgsUnbatched = plain.wireMsgs
+		p.WireMsgsBatched = batched.wireMsgs
+		if batched.wireMsgs > 0 {
+			p.IPCReduction = float64(plain.wireMsgs) / float64(batched.wireMsgs)
+		}
+		if batched.wireMsgs > 0 {
+			p.MeanBatch = float64(p.Reports) / float64(batched.wireMsgs)
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// stepResult is one condition's raw numbers.
+type stepResult struct {
+	point    ScalePoint
+	wireMsgs int64
+}
+
+// scaleStep drives one load step: flows × reportsPerFlow closed-loop reports
+// through the sharded runtime over a channel transport.
+func scaleStep(cfg ScaleConfig, flows int, batch bool) (stepResult, error) {
+	reg := core.NewRegistry()
+	reg.Register("load", func() core.Alg { return loadAlg{} })
+	rt, err := ccpruntime.New(ccpruntime.Config{
+		Shards: cfg.Shards,
+		Agent:  core.AgentConfig{Registry: reg, DefaultAlg: "load"},
+	})
+	if err != nil {
+		return stepResult{}, err
+	}
+	defer rt.Close()
+
+	depth := flows + cfg.MaxBatchMsgs + 64
+	dpSide, agentSide := ipc.ChanPair(depth)
+	defer dpSide.Close()
+	defer agentSide.Close()
+	go rt.ServeTransport(agentSide)
+
+	// out feeds the sender goroutine, which owns coalescing and the wire.
+	out := make(chan proto.Msg, depth)
+	var wireMsgs int64
+	senderDone := make(chan error, 1)
+	go func() {
+		senderDone <- runSender(dpSide, out, batch, cfg.BatchInterval, cfg.MaxBatchMsgs, &wireMsgs)
+	}()
+
+	// Announce all flows and wait until the runtime has adopted them; Init
+	// sends no reply, so adoption is observed via FlowCount.
+	setupStart := time.Now()
+	for sid := 1; sid <= flows; sid++ {
+		out <- &proto.Create{SID: uint32(sid), MSS: 1448, InitCwnd: 14480}
+	}
+	deadline := time.Now().Add(cfg.Timeout)
+	for rt.FlowCount() < flows {
+		if time.Now().After(deadline) {
+			return stepResult{}, fmt.Errorf("flow setup wedged at %d/%d", rt.FlowCount(), flows)
+		}
+		runtime.Gosched()
+	}
+	setupSec := time.Since(setupStart).Seconds()
+
+	// Closed loop: one outstanding report per flow. The receiver routes each
+	// decision back to its flow, records the report→decision latency, and
+	// kicks the flow's next report. Latency samples accumulate per shard and
+	// merge after the loop (stats.Samples.Merge).
+	sentAt := make([]time.Time, flows+1)
+	seq := make([]uint32, flows+1)
+	done := make([]bool, flows+1)
+	perShard := make([]*stats.Samples, cfg.Shards)
+	for i := range perShard {
+		perShard[i] = &stats.Samples{}
+	}
+	rng := cfg.Seed
+	nextField := func() float64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return float64(uint64(rng)>>40) / float64(1<<24)
+	}
+	kick := func(sid int) {
+		seq[sid]++
+		sentAt[sid] = time.Now()
+		out <- &proto.Measurement{
+			SID: uint32(sid), Seq: seq[sid],
+			Fields: []float64{nextField(), nextField(), nextField(), 1448, 0, 0, nextField()},
+		}
+	}
+
+	loopStart := time.Now()
+	for sid := 1; sid <= flows; sid++ {
+		kick(sid)
+	}
+	remaining := flows
+	for remaining > 0 {
+		if time.Now().After(deadline) {
+			return stepResult{}, fmt.Errorf("closed loop wedged with %d flows outstanding", remaining)
+		}
+		data, err := dpSide.Recv()
+		if err != nil {
+			return stepResult{}, fmt.Errorf("loadgen recv: %w", err)
+		}
+		m, err := proto.Unmarshal(data)
+		if err != nil {
+			return stepResult{}, fmt.Errorf("loadgen decode: %w", err)
+		}
+		for _, sub := range proto.Split(m) {
+			sc, ok := sub.(*proto.SetCwnd)
+			if !ok {
+				continue
+			}
+			sid := int(sc.SID)
+			if sid < 1 || sid > flows || done[sid] {
+				continue
+			}
+			perShard[sid%cfg.Shards].Add(float64(time.Since(sentAt[sid]).Microseconds()))
+			if seq[sid] >= uint32(cfg.ReportsPerFlow) {
+				done[sid] = true
+				remaining--
+				continue
+			}
+			kick(sid)
+		}
+	}
+	elapsed := time.Since(loopStart).Seconds()
+
+	close(out)
+	if err := <-senderDone; err != nil {
+		return stepResult{}, err
+	}
+	rt.Drain()
+	st := rt.Stats()
+	wantReports := flows * cfg.ReportsPerFlow
+	if st.Agent.Measurements != wantReports {
+		return stepResult{}, fmt.Errorf("runtime processed %d/%d reports (stats=%+v)",
+			st.Agent.Measurements, wantReports, st)
+	}
+
+	lat := &stats.Samples{}
+	for _, s := range perShard {
+		lat.Merge(s)
+	}
+	return stepResult{
+		point: ScalePoint{
+			Flows:         flows,
+			Reports:       wantReports,
+			SetupSec:      setupSec,
+			FlowsPerSec:   float64(flows) / setupSec,
+			ElapsedSec:    elapsed,
+			ReportsPerSec: float64(wantReports) / elapsed,
+			LatencyP50Us:  lat.Percentile(50),
+			LatencyP99Us:  lat.Percentile(99),
+			LatencyMaxUs:  lat.Max(),
+		},
+		wireMsgs: wireMsgs,
+	}, nil
+}
+
+// runSender owns the datapath side of the wire: it coalesces queued reports
+// into batch frames (batch condition) or ships every message individually,
+// counting wire frames either way. Creates always ship immediately — only
+// reports coalesce, mirroring the datapath runtime's policy.
+func runSender(tr ipc.Transport, out <-chan proto.Msg, batch bool, interval time.Duration, maxBatch int, wireMsgs *int64) error {
+	var pending []proto.Msg
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timerC = nil, nil
+		}
+	}
+	ship := func(m proto.Msg) error {
+		data, err := proto.Marshal(m)
+		if err != nil {
+			return err
+		}
+		*wireMsgs++
+		return tr.Send(data)
+	}
+	flush := func() error {
+		stopTimer()
+		if len(pending) == 0 {
+			return nil
+		}
+		var err error
+		if len(pending) == 1 {
+			err = ship(pending[0])
+		} else {
+			msgs := make([]proto.Msg, len(pending))
+			copy(msgs, pending)
+			err = ship(&proto.Batch{Msgs: msgs})
+		}
+		pending = pending[:0]
+		return err
+	}
+	for {
+		select {
+		case m, ok := <-out:
+			if !ok {
+				return flush()
+			}
+			if !batch {
+				if err := ship(m); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, isCreate := m.(*proto.Create); isCreate {
+				if err := flush(); err != nil {
+					return err
+				}
+				if err := ship(m); err != nil {
+					return err
+				}
+				continue
+			}
+			pending = append(pending, m)
+			if len(pending) >= maxBatch {
+				if err := flush(); err != nil {
+					return err
+				}
+				continue
+			}
+			if timer == nil {
+				timer = time.NewTimer(interval)
+				timerC = timer.C
+			}
+		case <-timerC:
+			timer, timerC = nil, nil
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// WriteJSON serializes the result (indented, stable field order) to path.
+func (r ScaleResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// String renders the scaling table.
+func (r ScaleResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Flow-scale benchmark: sharded runtime (%d shards), batch interval %.2fms\n",
+		r.Shards, r.BatchMs)
+	fmt.Fprintf(&b, "  %-7s %12s %12s %12s %12s %10s %10s\n",
+		"flows", "reports/s", "p50 lat", "p99 lat", "ipc msgs", "reduction", "meanbatch")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %-7d %12.0f %10.0fµs %10.0fµs %12d %9.1fx %10.1f\n",
+			p.Flows, p.ReportsPerSec, p.LatencyP50Us, p.LatencyP99Us,
+			p.WireMsgsBatched, p.IPCReduction, p.MeanBatch)
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestScaleSmoke is the short-mode gate for the flow-scale benchmark: tiny
+// steps, but the full pipeline — sharded runtime, channel transport,
+// closed-loop latency, batched vs unbatched IPC accounting, JSON output.
+func TestScaleSmoke(t *testing.T) {
+	cfg := ScaleConfig{
+		FlowCounts:     []int{1, 16},
+		ReportsPerFlow: 25,
+		Shards:         2,
+		BatchInterval:  200 * time.Microsecond,
+		Timeout:        30 * time.Second,
+	}
+	res, err := Scale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points=%d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Reports != p.Flows*cfg.ReportsPerFlow {
+			t.Fatalf("point %+v: wrong report count", p)
+		}
+		if p.ReportsPerSec <= 0 || p.FlowsPerSec <= 0 {
+			t.Fatalf("point %+v: non-positive throughput", p)
+		}
+		if p.LatencyP50Us <= 0 || p.LatencyP99Us < p.LatencyP50Us {
+			t.Fatalf("point %+v: implausible latency", p)
+		}
+		if p.WireMsgsUnbatched < int64(p.Reports) {
+			t.Fatalf("point %+v: unbatched condition must ship every report", p)
+		}
+		if p.WireMsgsBatched > p.WireMsgsUnbatched {
+			t.Fatalf("point %+v: batching increased wire messages", p)
+		}
+	}
+	// With 16 concurrent closed-loop flows and a 200µs window, coalescing
+	// must collapse multiple reports per frame.
+	if last := res.Points[len(res.Points)-1]; last.IPCReduction < 1.5 {
+		t.Fatalf("ipc reduction %.2f at %d flows, want >= 1.5", last.IPCReduction, last.Flows)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_scale.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	var back ScaleResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(res.Points) || back.Shards != res.Shards {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if res.String() == "" {
+		t.Fatal("empty table rendering")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/ccp-repro/ccp/internal/core"
 	"github.com/ccp-repro/ccp/internal/datapath"
 	"github.com/ccp-repro/ccp/internal/faults"
+	"github.com/ccp-repro/ccp/internal/metrics"
 	"github.com/ccp-repro/ccp/internal/netsim"
 	"github.com/ccp-repro/ccp/internal/tcp"
 )
@@ -39,6 +40,9 @@ type Config struct {
 	// through a fault injector with this plan (drawing on the simulator RNG,
 	// so runs stay deterministic per seed).
 	Faults *faults.Plan
+	// Metrics, when non-nil, is threaded into the agent and every CCP flow's
+	// datapath runtime, so one registry observes the whole deployment.
+	Metrics *metrics.Registry
 }
 
 // Net is a running deployment.
@@ -53,6 +57,7 @@ type Net struct {
 	// through it instead of Bridge.
 	FaultBridge *faults.Bridge
 
+	metrics *metrics.Registry
 	nextSID uint32
 }
 
@@ -81,17 +86,19 @@ func New(cfg Config) *Net {
 		Registry:   cfg.Registry,
 		DefaultAlg: cfg.DefaultAlg,
 		Policy:     cfg.Policy,
+		Metrics:    cfg.Metrics,
 	})
 	if err != nil {
 		panic("harness: " + err.Error())
 	}
 	n := &Net{
-		Sim:    sim,
-		Path:   path,
-		Fwd:    fwd,
-		Rev:    rev,
-		Agent:  agent,
-		Bridge: bridge.New(sim, agent, cfg.IPCLatency),
+		Sim:     sim,
+		Path:    path,
+		Fwd:     fwd,
+		Rev:     rev,
+		Agent:   agent,
+		Bridge:  bridge.New(sim, agent, cfg.IPCLatency),
+		metrics: cfg.Metrics,
 	}
 	if cfg.Faults != nil {
 		n.FaultBridge = faults.NewBridge(sim, n.Bridge, *cfg.Faults)
@@ -118,6 +125,9 @@ func (n *Net) AddCCPFlowCfg(id netsim.FlowID, alg string, opts tcp.Options, dpCf
 	n.nextSID++
 	dpCfg.SID = n.nextSID
 	dpCfg.Alg = alg
+	if dpCfg.Metrics == nil {
+		dpCfg.Metrics = n.metrics
+	}
 	var dp *datapath.CCP
 	if n.FaultBridge != nil {
 		dp = n.FaultBridge.Connect(dpCfg)

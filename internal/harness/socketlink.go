@@ -265,10 +265,15 @@ func (l *SocketLink) readAll(tr ipc.Transport) {
 			l.note(func(s *SocketLinkStats) { s.DecodeErrors++ })
 			continue
 		}
-		select {
-		case l.inbox <- m:
-		default:
-			l.note(func(s *SocketLinkStats) { s.Dropped++ })
+		// Unbatch here: Pump routes by FlowSID, and a batch frame has no
+		// single flow. Splitting preserves order (sub-messages enter the
+		// inbox in frame order).
+		for _, sub := range proto.Split(m) {
+			select {
+			case l.inbox <- sub:
+			default:
+				l.note(func(s *SocketLinkStats) { s.Dropped++ })
+			}
 		}
 	}
 }

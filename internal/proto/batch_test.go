@@ -1,0 +1,157 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	in := &Batch{Msgs: []Msg{
+		&Measurement{SID: 1, Seq: 1, Fields: []float64{0.01, 1e6, 2e6}},
+		&Vector{SID: 2, Seq: 7, NumFields: 2, Data: []float64{1, 2, 3, 4}},
+		&Create{SID: 3, MSS: 1448, InitCwnd: 14480, Alg: "reno"},
+		&Close{SID: 4},
+	}}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("round trip mismatch:\n in:  %#v\n out: %#v", in, got)
+	}
+}
+
+func TestBatchAmortizesFraming(t *testing.T) {
+	// The point of batching: one frame of n reports must be smaller than n
+	// frames of one report (shared type byte aside, the transport-level
+	// framing the paper's §4 batching argument amortizes is per-message).
+	report := &Measurement{SID: 1, Seq: 1, Fields: []float64{0.01, 1e6, 2e6, 14480, 0, 0, 0.01}}
+	single, err := Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := &Batch{}
+	const n = 100
+	for i := 0; i < n; i++ {
+		batch.Msgs = append(batch.Msgs, report)
+	}
+	packed, err := Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) >= n*(len(single)+4) { // +4: the stream transport's frame header
+		t.Fatalf("batch of %d is %d bytes, not smaller than %d unbatched frames (%d bytes)",
+			n, len(packed), n, n*(len(single)+4))
+	}
+}
+
+func TestBatchRejectsNesting(t *testing.T) {
+	inner := &Batch{Msgs: []Msg{&Close{SID: 1}}}
+	if _, err := Marshal(&Batch{Msgs: []Msg{inner}}); err == nil {
+		t.Fatal("marshal accepted a nested batch")
+	}
+	// Craft the bytes directly: a batch whose single element is itself a
+	// batch. The decoder must reject it rather than recurse.
+	innerData, err := Marshal(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := []byte{byte(TypeBatch)}
+	raw = binary.AppendUvarint(raw, 1)
+	raw = binary.AppendUvarint(raw, uint64(len(innerData)))
+	raw = append(raw, innerData...)
+	if _, err := Unmarshal(raw); err == nil || !strings.Contains(err.Error(), "nested") {
+		t.Fatalf("decoder accepted nested batch (err=%v)", err)
+	}
+}
+
+func TestBatchRejectsOversize(t *testing.T) {
+	b := &Batch{}
+	for i := 0; i <= MaxBatchMsgs; i++ {
+		b.Msgs = append(b.Msgs, &Close{SID: uint32(i)})
+	}
+	if _, err := Marshal(b); err == nil {
+		t.Fatal("marshal accepted an oversized batch")
+	}
+	// A count that exceeds the cap must be rejected before allocation.
+	raw := []byte{byte(TypeBatch)}
+	raw = binary.AppendUvarint(raw, uint64(MaxBatchMsgs+1))
+	if _, err := Unmarshal(raw); err == nil {
+		t.Fatal("decoder accepted oversized batch count")
+	}
+}
+
+func TestBatchRejectsTruncatedAndMalformedSub(t *testing.T) {
+	good, err := Marshal(&Batch{Msgs: []Msg{
+		&Measurement{SID: 1, Seq: 1, Fields: []float64{1, 2}},
+		&Close{SID: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(good); cut++ {
+		if _, err := Unmarshal(good[:cut]); err == nil {
+			t.Fatalf("accepted truncation at %d bytes", cut)
+		}
+	}
+	// A sub-message with trailing garbage inside its length window must be
+	// rejected (each sub-message must be exactly one canonical message).
+	sub, err := Marshal(&Close{SID: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded := append(append([]byte{}, sub...), 0xEE)
+	raw := []byte{byte(TypeBatch)}
+	raw = binary.AppendUvarint(raw, 1)
+	raw = binary.AppendUvarint(raw, uint64(len(padded)))
+	raw = append(raw, padded...)
+	if _, err := Unmarshal(raw); err == nil {
+		t.Fatal("accepted sub-message with trailing bytes")
+	}
+}
+
+func TestBatchCanonicalEncoding(t *testing.T) {
+	// The fuzz invariant, pinned deterministically: decode→encode is the
+	// identity on batch frames.
+	in := &Batch{Msgs: []Msg{
+		&Measurement{SID: 5, Seq: 2, Fields: []float64{3.14}},
+		&Urgent{SID: 5, Seq: 1, Kind: UrgentTimeout, Value: 1448},
+	}}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, out) {
+		t.Fatalf("non-canonical batch:\n in:  %x\n out: %x", data, out)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	m1, m2 := &Close{SID: 1}, &Close{SID: 2}
+	got := Split(&Batch{Msgs: []Msg{m1, m2}})
+	if len(got) != 2 || got[0] != Msg(m1) || got[1] != Msg(m2) {
+		t.Fatalf("Split(batch)=%v", got)
+	}
+	single := Split(m1)
+	if len(single) != 1 || single[0] != Msg(m1) {
+		t.Fatalf("Split(single)=%v", single)
+	}
+	if got := Split(&Batch{}); len(got) != 0 {
+		t.Fatalf("Split(empty batch)=%v", got)
+	}
+}

@@ -39,6 +39,7 @@ const (
 	TypeInstall
 	TypeSetCwnd
 	TypeSetRate
+	TypeBatch
 )
 
 func (t MsgType) String() string {
@@ -59,6 +60,8 @@ func (t MsgType) String() string {
 		return "SetCwnd"
 	case TypeSetRate:
 		return "SetRate"
+	case TypeBatch:
+		return "Batch"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -182,6 +185,17 @@ type SetRate struct {
 	Bps float64
 }
 
+// Batch carries several messages in one IPC frame — the §4 scaling answer:
+// per-message transport cost (syscall, framing, wakeup) is amortized across
+// every report coalesced within a batching interval, at the price of added
+// control staleness for the non-first messages. Batches are a transport
+// optimization, not a semantic grouping: receivers process the contained
+// messages in order exactly as if each had arrived alone. Sub-messages may
+// concern different flows; batches must not nest.
+type Batch struct {
+	Msgs []Msg
+}
+
 // SeqNewer reports whether sequence number a is newer than b under
 // wraparound arithmetic (serial number comparison): a is newer when it lies
 // at most 2^31-1 increments ahead of b. Sequence number 0 is reserved for
@@ -196,6 +210,7 @@ func (m *Close) Type() MsgType       { return TypeClose }
 func (m *Install) Type() MsgType     { return TypeInstall }
 func (m *SetCwnd) Type() MsgType     { return TypeSetCwnd }
 func (m *SetRate) Type() MsgType     { return TypeSetRate }
+func (m *Batch) Type() MsgType       { return TypeBatch }
 
 func (m *Create) FlowSID() uint32      { return m.SID }
 func (m *Measurement) FlowSID() uint32 { return m.SID }
@@ -206,13 +221,31 @@ func (m *Install) FlowSID() uint32     { return m.SID }
 func (m *SetCwnd) FlowSID() uint32     { return m.SID }
 func (m *SetRate) FlowSID() uint32     { return m.SID }
 
+// FlowSID returns 0: a batch spans flows, so per-flow routing must unpack
+// it (see Split).
+func (m *Batch) FlowSID() uint32 { return 0 }
+
+// Split returns the messages m stands for: the contained messages for a
+// Batch, or m itself for any other message. Receivers that route per flow
+// call Split first so batches are transparent to them.
+func Split(m Msg) []Msg {
+	if b, ok := m.(*Batch); ok {
+		return b.Msgs
+	}
+	return []Msg{m}
+}
+
 // Limits bound decoder allocations against malformed input.
 const (
 	maxStringLen   = 255
 	maxFieldCount  = 1 << 12
 	maxVectorLen   = 1 << 20
 	maxProgramSize = 1 << 16
+	maxBatchMsgs   = 1 << 10
 )
+
+// MaxBatchMsgs is the largest number of messages one Batch may carry.
+const MaxBatchMsgs = maxBatchMsgs
 
 // Marshal encodes m as one self-contained message.
 func Marshal(m Msg) ([]byte, error) {
@@ -288,6 +321,22 @@ func AppendMarshal(dst []byte, m Msg) ([]byte, error) {
 		b = binary.LittleEndian.AppendUint32(b, v.SID)
 		b = binary.LittleEndian.AppendUint32(b, v.Seq)
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Bps))
+	case *Batch:
+		if len(v.Msgs) > maxBatchMsgs {
+			return nil, fmt.Errorf("proto: batch too large (%d messages)", len(v.Msgs))
+		}
+		b = binary.AppendUvarint(b, uint64(len(v.Msgs)))
+		for _, sub := range v.Msgs {
+			if _, nested := sub.(*Batch); nested {
+				return nil, fmt.Errorf("proto: nested batch")
+			}
+			enc, err := Marshal(sub)
+			if err != nil {
+				return nil, err
+			}
+			b = binary.AppendUvarint(b, uint64(len(enc)))
+			b = append(b, enc...)
+		}
 	default:
 		return nil, fmt.Errorf("proto: cannot marshal %T", m)
 	}
@@ -346,6 +395,25 @@ func Unmarshal(data []byte) (Msg, error) {
 		m = &SetCwnd{SID: d.u32(), Seq: d.u32(), Bytes: d.u32()}
 	case TypeSetRate:
 		m = &SetRate{SID: d.u32(), Seq: d.u32(), Bps: d.f64()}
+	case TypeBatch:
+		v := &Batch{}
+		n := d.length(maxBatchMsgs, 1)
+		for i := 0; i < n && d.err == nil; i++ {
+			sz := d.length(len(d.data)-d.pos, 1)
+			raw := d.view(sz)
+			if d.err != nil {
+				break
+			}
+			sub, err := Unmarshal(raw)
+			if err != nil {
+				return nil, fmt.Errorf("proto: batch message %d: %w", i, err)
+			}
+			if _, nested := sub.(*Batch); nested {
+				return nil, fmt.Errorf("proto: nested batch")
+			}
+			v.Msgs = append(v.Msgs, sub)
+		}
+		m = v
 	default:
 		return nil, fmt.Errorf("proto: unknown message type %d", t)
 	}
@@ -431,6 +499,18 @@ func uvarintLen(v uint64) int {
 		n++
 	}
 	return n
+}
+
+// view returns the next n bytes aliasing the input (for sub-decoding that
+// copies on its own terms).
+func (d *decoder) view(n int) []byte {
+	if d.err != nil || d.pos+n > len(d.data) {
+		d.fail()
+		return nil
+	}
+	out := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return out
 }
 
 func (d *decoder) bytes(n int) []byte {

@@ -23,6 +23,12 @@ func sampleMsgs() []Msg {
 		&Install{SID: 6, Prog: nil},
 		&SetCwnd{SID: 8, Seq: 7, Bytes: 29200},
 		&SetRate{SID: 9, Seq: 8, Bps: 1.25e9},
+		&Batch{Msgs: []Msg{
+			&Measurement{SID: 1, Seq: 100, Fields: []float64{0.01, 1e6}},
+			&Measurement{SID: 2, Seq: 3, Fields: []float64{0.02, 2e6}},
+			&Urgent{SID: 1, Seq: 9, Kind: UrgentDupAck, Value: 1448},
+		}},
+		&Batch{},
 	}
 }
 
@@ -53,7 +59,7 @@ func TestTypeAndSID(t *testing.T) {
 	wantTypes := []MsgType{
 		TypeCreate, TypeCreate, TypeCreate, TypeMeasurement, TypeMeasurement,
 		TypeVector, TypeUrgent, TypeUrgent, TypeUrgent, TypeClose, TypeInstall,
-		TypeInstall, TypeSetCwnd, TypeSetRate,
+		TypeInstall, TypeSetCwnd, TypeSetRate, TypeBatch, TypeBatch,
 	}
 	for i, m := range sampleMsgs() {
 		if m.Type() != wantTypes[i] {

@@ -1,0 +1,390 @@
+// Package runtime scales the user-space agent across cores: a sharded
+// executor that partitions flows over N independent core.Agent instances by
+// flow ID, so report processing for different flows proceeds in parallel
+// with no cross-shard locking on the hot path (§4's "congestion control
+// plane as a scalable service" direction).
+//
+// Sharding is by affinity — shard(SID) = SID mod N — so every message for a
+// flow lands on the same shard and per-flow ordering is preserved without
+// any global coordination. Each shard owns its agent (flow map, algorithm
+// instances) outright; the only shared state is the dispatch table, which is
+// immutable after New.
+//
+// With Shards <= 1 the runtime degenerates to a synchronous pass-through
+// around a single agent: no goroutines, no mailboxes, bit-identical to
+// calling core.Agent directly. Deterministic simulations use that mode; the
+// goroutine-per-shard mode serves real transports and the flow-scale
+// benchmark.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ccp-repro/ccp/internal/core"
+	"github.com/ccp-repro/ccp/internal/ipc"
+	"github.com/ccp-repro/ccp/internal/metrics"
+	"github.com/ccp-repro/ccp/internal/proto"
+)
+
+// Handler is anything that consumes datapath→agent messages: a bare
+// core.Agent, or this package's sharded Runtime. Bridges and transports
+// dispatch into a Handler without caring which.
+type Handler interface {
+	HandleMessage(m proto.Msg, reply func(proto.Msg) error)
+}
+
+// OverflowPolicy selects what a full shard mailbox does to new messages.
+type OverflowPolicy int
+
+const (
+	// Block applies backpressure: the dispatching goroutine waits for
+	// mailbox space (or shutdown). This is the default — congestion report
+	// loss degrades control quality silently, so the datapath channel should
+	// slow down instead.
+	Block OverflowPolicy = iota
+	// Drop discards the message immediately and counts it. Use when the
+	// dispatcher must never stall (e.g. it is also serving other shards).
+	Drop
+)
+
+// Config configures a Runtime.
+type Config struct {
+	// Shards is the number of parallel agent shards. 0 or 1 selects the
+	// inline synchronous mode.
+	Shards int
+	// Agent configures every shard's agent (they share the registry, policy,
+	// and metrics; each shard instantiates its own flow table).
+	Agent core.AgentConfig
+	// MailboxSize bounds each shard's queue (default 1024).
+	MailboxSize int
+	// Overflow selects the full-mailbox policy (default Block).
+	Overflow OverflowPolicy
+	// Metrics optionally receives runtime counters. Nil is valid; this is
+	// normally the same registry as Agent.Metrics.
+	Metrics *metrics.Registry
+}
+
+// Stats counts the runtime's dispatch activity. Agent aggregates the
+// per-shard agent counters.
+type Stats struct {
+	// Dispatched counts messages accepted for processing (inline calls or
+	// mailbox enqueues; a batch counts once per enqueued frame).
+	Dispatched int64
+	// Dropped counts messages discarded by the Drop overflow policy.
+	Dropped int64
+	// ShutdownDropped counts messages that arrived during or after Close.
+	ShutdownDropped int64
+	// BatchesSplit counts batch frames that spanned shards and were split
+	// into per-shard sub-batches.
+	BatchesSplit int64
+	// Agent is the sum of every shard's core.AgentStats.
+	Agent core.AgentStats
+}
+
+type item struct {
+	m     proto.Msg
+	reply func(proto.Msg) error
+	// done, when non-nil, marks a drain sentinel: the shard closes it instead
+	// of dispatching.
+	done chan struct{}
+}
+
+type shard struct {
+	agent *core.Agent
+	mail  chan item
+}
+
+// Runtime is the sharded agent executor. It implements Handler.
+type Runtime struct {
+	cfg    Config
+	shards []*shard
+	inline *core.Agent // non-nil iff Shards <= 1
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	closeOnce sync.Once
+
+	dispatched      atomic.Int64
+	dropped         atomic.Int64
+	shutdownDropped atomic.Int64
+	batchesSplit    atomic.Int64
+
+	mDispatched *metrics.Counter
+	mDropped    *metrics.Counter
+	mSplits     *metrics.Counter
+}
+
+// New validates cfg and returns a runtime. Shard goroutines (if any) start
+// immediately.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("runtime: negative shard count %d", cfg.Shards)
+	}
+	if cfg.MailboxSize <= 0 {
+		cfg.MailboxSize = 1024
+	}
+	r := &Runtime{
+		cfg:         cfg,
+		quit:        make(chan struct{}),
+		mDispatched: cfg.Metrics.Counter("runtime_dispatched_total"),
+		mDropped:    cfg.Metrics.Counter("runtime_dropped_total"),
+		mSplits:     cfg.Metrics.Counter("runtime_batches_split_total"),
+	}
+	if cfg.Shards <= 1 {
+		a, err := core.NewAgent(cfg.Agent)
+		if err != nil {
+			return nil, err
+		}
+		r.inline = a
+		return r, nil
+	}
+	r.shards = make([]*shard, cfg.Shards)
+	for i := range r.shards {
+		a, err := core.NewAgent(cfg.Agent)
+		if err != nil {
+			return nil, err
+		}
+		sh := &shard{agent: a, mail: make(chan item, cfg.MailboxSize)}
+		r.shards[i] = sh
+		r.wg.Add(1)
+		go r.run(sh)
+	}
+	return r, nil
+}
+
+// run is one shard's loop: drain the mailbox until shutdown, then drain
+// whatever is already queued and exit. Only this goroutine touches the
+// shard's agent, so the agent's internal mutex never contends.
+func (r *Runtime) run(sh *shard) {
+	defer r.wg.Done()
+	handle := func(it item) {
+		if it.done != nil {
+			close(it.done)
+			return
+		}
+		sh.agent.HandleMessage(it.m, it.reply)
+	}
+	for {
+		select {
+		case it := <-sh.mail:
+			handle(it)
+		case <-r.quit:
+			for {
+				select {
+				case it := <-sh.mail:
+					handle(it)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Shards returns the number of parallel shards (1 in inline mode).
+func (r *Runtime) Shards() int {
+	if r.inline != nil {
+		return 1
+	}
+	return len(r.shards)
+}
+
+func (r *Runtime) shardFor(sid uint32) *shard {
+	return r.shards[int(sid)%len(r.shards)]
+}
+
+// HandleMessage implements Handler: it routes the message to its flow's
+// shard. In inline mode it is a direct synchronous call. Batches whose
+// messages span shards are split into per-shard sub-batches, preserving
+// per-flow order (each flow's messages stay on one shard, in arrival order).
+func (r *Runtime) HandleMessage(m proto.Msg, reply func(proto.Msg) error) {
+	if r.inline != nil {
+		r.dispatched.Add(1)
+		r.mDispatched.Inc()
+		r.inline.HandleMessage(m, reply)
+		return
+	}
+	if b, ok := m.(*proto.Batch); ok {
+		r.routeBatch(b, reply)
+		return
+	}
+	r.enqueue(r.shardFor(m.FlowSID()), m, reply)
+}
+
+// routeBatch regroups a batch frame by destination shard. A frame whose
+// messages all share one shard is forwarded intact (the agent unpacks it
+// under a single lock acquisition); a mixed frame is split.
+func (r *Runtime) routeBatch(b *proto.Batch, reply func(proto.Msg) error) {
+	if len(b.Msgs) == 0 {
+		return
+	}
+	first := r.shardFor(b.Msgs[0].FlowSID())
+	uniform := true
+	for _, sub := range b.Msgs[1:] {
+		if r.shardFor(sub.FlowSID()) != first {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		r.enqueue(first, b, reply)
+		return
+	}
+	r.batchesSplit.Add(1)
+	r.mSplits.Inc()
+	groups := make(map[*shard][]proto.Msg, len(r.shards))
+	order := make([]*shard, 0, len(r.shards))
+	for _, sub := range b.Msgs {
+		sh := r.shardFor(sub.FlowSID())
+		if _, seen := groups[sh]; !seen {
+			order = append(order, sh)
+		}
+		groups[sh] = append(groups[sh], sub)
+	}
+	for _, sh := range order {
+		g := groups[sh]
+		if len(g) == 1 {
+			r.enqueue(sh, g[0], reply)
+		} else {
+			r.enqueue(sh, &proto.Batch{Msgs: g}, reply)
+		}
+	}
+}
+
+func (r *Runtime) enqueue(sh *shard, m proto.Msg, reply func(proto.Msg) error) {
+	it := item{m: m, reply: reply}
+	if r.cfg.Overflow == Drop {
+		select {
+		case <-r.quit:
+			r.shutdownDropped.Add(1)
+			return
+		default:
+		}
+		select {
+		case sh.mail <- it:
+			r.dispatched.Add(1)
+			r.mDispatched.Inc()
+		default:
+			r.dropped.Add(1)
+			r.mDropped.Inc()
+		}
+		return
+	}
+	select {
+	case sh.mail <- it:
+		r.dispatched.Add(1)
+		r.mDispatched.Inc()
+	case <-r.quit:
+		r.shutdownDropped.Add(1)
+	}
+}
+
+// Close shuts the runtime down: new messages are refused, queued messages
+// are drained, and all shard goroutines exit before Close returns. Inline
+// mode has nothing to stop. Safe to call more than once.
+func (r *Runtime) Close() {
+	r.closeOnce.Do(func() { close(r.quit) })
+	r.wg.Wait()
+}
+
+// Drain blocks until every message dispatched before the call has been
+// handed to its shard's agent, by pushing a sentinel through each mailbox.
+// It does not stop new messages from arriving; callers quiesce their senders
+// first (the benchmark does this between load steps).
+func (r *Runtime) Drain() {
+	if r.inline != nil {
+		return
+	}
+	for _, sh := range r.shards {
+		done := make(chan struct{})
+		select {
+		case sh.mail <- item{done: done}:
+		case <-r.quit:
+			return
+		}
+		select {
+		case <-done:
+		case <-r.quit:
+			return
+		}
+	}
+}
+
+// Stats aggregates dispatch counters and every shard's agent counters.
+func (r *Runtime) Stats() Stats {
+	s := Stats{
+		Dispatched:      r.dispatched.Load(),
+		Dropped:         r.dropped.Load(),
+		ShutdownDropped: r.shutdownDropped.Load(),
+		BatchesSplit:    r.batchesSplit.Load(),
+	}
+	if r.inline != nil {
+		s.Agent = r.inline.Stats()
+		return s
+	}
+	for _, sh := range r.shards {
+		addAgentStats(&s.Agent, sh.agent.Stats())
+	}
+	return s
+}
+
+// FlowCount sums live flows across shards.
+func (r *Runtime) FlowCount() int {
+	if r.inline != nil {
+		return r.inline.FlowCount()
+	}
+	n := 0
+	for _, sh := range r.shards {
+		n += sh.agent.FlowCount()
+	}
+	return n
+}
+
+// ServeTransport reads wire messages from t until Recv fails, dispatching
+// each through HandleMessage. Replies from all shards are serialized onto t
+// with a mutex (the wire is one stream; Transport.Send is already safe, the
+// mutex just keeps reply bursts from interleaving with each other
+// mid-shutdown). Close the runtime separately; ServeTransport returning does
+// not stop the shards.
+func (r *Runtime) ServeTransport(t ipc.Transport) error {
+	var sendMu sync.Mutex
+	reply := func(m proto.Msg) error {
+		data, err := proto.Marshal(m)
+		if err != nil {
+			return err
+		}
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		return t.Send(data)
+	}
+	for {
+		data, err := t.Recv()
+		if err != nil {
+			return err
+		}
+		m, err := proto.Unmarshal(data)
+		if err != nil {
+			continue
+		}
+		r.HandleMessage(m, reply)
+	}
+}
+
+func addAgentStats(dst *core.AgentStats, s core.AgentStats) {
+	dst.FlowsCreated += s.FlowsCreated
+	dst.FlowsClosed += s.FlowsClosed
+	dst.Measurements += s.Measurements
+	dst.Vectors += s.Vectors
+	dst.Urgents += s.Urgents
+	dst.UnknownFlowMsg += s.UnknownFlowMsg
+	dst.UnknownAlgReq += s.UnknownAlgReq
+	dst.Errors += s.Errors
+	dst.DupCreates += s.DupCreates
+	dst.DupUrgents += s.DupUrgents
+	dst.StaleReports += s.StaleReports
+	dst.Batches += s.Batches
+	dst.BatchedMsgs += s.BatchedMsgs
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestSamplesMergeEmpty covers the degenerate merges: empty into empty,
+// empty into populated, populated into empty, and nil.
+func TestSamplesMergeEmpty(t *testing.T) {
+	var a, b Samples
+	a.Merge(&b)
+	if a.Len() != 0 {
+		t.Fatal("empty+empty should stay empty")
+	}
+	a.Merge(nil)
+	if a.Len() != 0 {
+		t.Fatal("nil merge should be a no-op")
+	}
+
+	b.Add(3)
+	a.Merge(&b)
+	if a.Len() != 1 || a.Median() != 3 {
+		t.Fatalf("empty.Merge(single): len=%d median=%v", a.Len(), a.Median())
+	}
+	var c Samples
+	a.Merge(&c)
+	if a.Len() != 1 {
+		t.Fatal("merging empty changed the receiver")
+	}
+	if b.Len() != 1 {
+		t.Fatal("merge mutated the source")
+	}
+}
+
+// TestSamplesMergeSingle merges two singletons and checks order statistics.
+func TestSamplesMergeSingle(t *testing.T) {
+	var a, b Samples
+	a.Add(10)
+	b.Add(2)
+	a.Merge(&b)
+	if a.Len() != 2 || a.Min() != 2 || a.Max() != 10 || a.Median() != 6 {
+		t.Fatalf("len=%d min=%v max=%v median=%v", a.Len(), a.Min(), a.Max(), a.Median())
+	}
+}
+
+// TestSamplesMergeSkewed merges a heavily skewed pair of shards and checks
+// the merged percentiles equal those of the union computed directly —
+// merging must be indistinguishable from having observed everything in one
+// collection.
+func TestSamplesMergeSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var shard1, shard2, direct Samples
+	for i := 0; i < 1000; i++ { // shard 1: tight cluster near 1ms
+		v := 0.001 + rng.Float64()*0.0001
+		shard1.Add(v)
+		direct.Add(v)
+	}
+	for i := 0; i < 10; i++ { // shard 2: rare 100ms outliers
+		v := 0.1 + rng.Float64()*0.01
+		shard2.Add(v)
+		direct.Add(v)
+	}
+	shard1.Merge(&shard2)
+	for _, p := range []float64{0, 50, 95, 99, 99.9, 100} {
+		if got, want := shard1.Percentile(p), direct.Percentile(p); got != want {
+			t.Errorf("p%v: merged=%v direct=%v", p, got, want)
+		}
+	}
+	if shard1.Mean() != direct.Mean() {
+		t.Errorf("mean: merged=%v direct=%v", shard1.Mean(), direct.Mean())
+	}
+}
+
+// TestSamplesMergeAfterSort verifies merging into an already-sorted receiver
+// re-sorts correctly (the sorted flag must be invalidated).
+func TestSamplesMergeAfterSort(t *testing.T) {
+	var a, b Samples
+	a.Add(5)
+	a.Add(1)
+	_ = a.Median() // forces sort
+	b.Add(0.5)
+	a.Merge(&b)
+	if a.Min() != 0.5 {
+		t.Fatalf("min=%v, merge after sort lost ordering", a.Min())
+	}
+}
+
+// TestWindowMergeEmpty covers empty/nil window merges.
+func TestWindowMergeEmpty(t *testing.T) {
+	a := NewWindowedMin(time.Second)
+	b := NewWindowedMin(time.Second)
+	a.Merge(b)
+	if !a.Empty(0) {
+		t.Fatal("empty+empty should stay empty")
+	}
+	a.Merge(nil)
+	b.Update(10*time.Millisecond, 4)
+	a.Merge(b)
+	if got := a.Value(20 * time.Millisecond); got != 4 {
+		t.Fatalf("value=%v want 4", got)
+	}
+	empty := NewWindowedMin(time.Second)
+	a.Merge(empty)
+	if got := a.Value(20 * time.Millisecond); got != 4 {
+		t.Fatalf("merging empty changed value to %v", got)
+	}
+}
+
+// TestWindowMergeSkewed interleaves two shards' observation streams and
+// checks the merged filter answers like a single filter that saw the union.
+func TestWindowMergeSkewed(t *testing.T) {
+	const window = 100 * time.Millisecond
+	rng := rand.New(rand.NewSource(11))
+	a := NewWindowedMax(window)
+	b := NewWindowedMax(window)
+	direct := NewWindowedMax(window)
+
+	type obs struct {
+		at time.Duration
+		v  float64
+	}
+	var all []obs
+	now := time.Duration(0)
+	for i := 0; i < 500; i++ {
+		now += time.Duration(rng.Intn(1000)) * time.Microsecond
+		v := rng.Float64() * 100
+		if i%10 == 0 {
+			v *= 50 // occasional spike, skewing one shard
+		}
+		all = append(all, obs{now, v})
+	}
+	for i, o := range all {
+		if i%3 == 0 {
+			b.Update(o.at, o.v)
+		} else {
+			a.Update(o.at, o.v)
+		}
+		direct.Update(o.at, o.v)
+	}
+	a.Merge(b)
+	if got, want := a.Value(now), direct.Value(now); got != want {
+		t.Fatalf("merged=%v direct=%v", got, want)
+	}
+	// After the window slides past every sample, both agree on emptiness.
+	later := now + 2*window
+	if a.Empty(later) != direct.Empty(later) {
+		t.Fatal("expiry behaviour diverged after merge")
+	}
+}
+
+// TestWindowMergeSingle merges singleton filters in both orders.
+func TestWindowMergeSingle(t *testing.T) {
+	for _, swap := range []bool{false, true} {
+		a := NewWindowedMin(time.Second)
+		b := NewWindowedMin(time.Second)
+		a.Update(time.Millisecond, 5)
+		b.Update(2*time.Millisecond, 3)
+		x, y := a, b
+		if swap {
+			x, y = b, a
+		}
+		x.Merge(y)
+		if got := x.Value(3 * time.Millisecond); got != 3 {
+			t.Fatalf("swap=%v: min=%v want 3", swap, got)
+		}
+	}
+}
+
+// TestWindowMergeKindMismatch ensures min/max cross-merges panic loudly.
+func TestWindowMergeKindMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic merging min into max")
+		}
+	}()
+	a := NewWindowedMax(time.Second)
+	b := NewWindowedMin(time.Second)
+	b.Update(0, 1)
+	a.Merge(b)
+}

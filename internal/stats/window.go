@@ -63,6 +63,60 @@ func (w *WindowedMinMax) Empty(now time.Duration) bool {
 // Reset discards all samples.
 func (w *WindowedMinMax) Reset() { w.q = w.q[:0] }
 
+// Merge folds other's retained samples into w, as if every sample either
+// filter had kept were observed by one filter. Both must track the same
+// kind of extremum (min with min); Merge panics otherwise, since silently
+// mixing a min filter into a max filter yields garbage. The receiver's
+// window length is kept. Merging nil or an empty filter is a no-op.
+//
+// Each deque holds only its non-dominated samples in ascending time order,
+// so replaying the merge-sorted union through Update rebuilds a correct
+// combined deque: dominated entries are discarded exactly as if the samples
+// had arrived interleaved.
+func (w *WindowedMinMax) Merge(other *WindowedMinMax) {
+	if other == nil || len(other.q) == 0 {
+		return
+	}
+	if w.isMin != other.isMin {
+		panic("stats: WindowedMinMax.Merge of min and max filters")
+	}
+	mine := w.q
+	theirs := other.q
+	w.q = make([]wmSample, 0, len(mine)+len(theirs))
+	merged := mergeByTime(mine, theirs)
+	for _, s := range merged {
+		// Update, minus the expiry: expiring here against the last sample's
+		// timestamp would discard history a caller-supplied later "now" may
+		// still consider fresh relative to queries it has already made.
+		for len(w.q) > 0 {
+			last := w.q[len(w.q)-1]
+			if (w.isMin && last.v >= s.v) || (!w.isMin && last.v <= s.v) {
+				w.q = w.q[:len(w.q)-1]
+			} else {
+				break
+			}
+		}
+		w.q = append(w.q, s)
+	}
+}
+
+// mergeByTime merge-sorts two time-ascending sample slices.
+func mergeByTime(a, b []wmSample) []wmSample {
+	out := make([]wmSample, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].at <= b[j].at {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
 func (w *WindowedMinMax) expire(now time.Duration) {
 	cutoff := now - w.window
 	for len(w.q) > 1 && w.q[0].at < cutoff {
