@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-scale vet fmt check fuzz-smoke examples experiments clean
+.PHONY: all build test test-short bench bench-scale bench-hotpath benchstat test-allocs vet fmt check fuzz-smoke examples experiments clean
 
 all: build test
 
@@ -28,14 +28,41 @@ bench:
 bench-scale:
 	$(GO) run ./cmd/ccp-loadgen -json BENCH_scale.json
 
+# Hot-path before/after comparison (wire codec and simulator event queue);
+# regenerates the committed BENCH_hotpath.json.
+bench-hotpath:
+	$(GO) run ./cmd/ccp-hotpath -json BENCH_hotpath.json
+
+# Compares the current codec and event-queue benchmarks against the
+# committed bench/baseline.txt. Requires the benchstat tool; skipped with a
+# hint when it is not installed (no network access is assumed here).
+benchstat:
+	@if command -v benchstat >/dev/null 2>&1; then \
+		$(GO) test -run='^$$' -bench=. -benchmem -count=5 \
+			./internal/proto ./internal/netsim > bench/current.txt && \
+		benchstat bench/baseline.txt bench/current.txt; \
+	else \
+		echo "benchstat not installed; skipping comparison."; \
+		echo "install with: go install golang.org/x/perf/cmd/benchstat@latest"; \
+	fi
+
+# Allocation-regression tests: the hot paths (codec round trip, fold step,
+# event schedule/dispatch) must stay at zero allocations per op. These skip
+# themselves under -race (alloc counts are inflated), so `check` runs them
+# in a separate non-race pass.
+test-allocs:
+	$(GO) test -run 'TestAllocs' -count=1 \
+		./internal/proto ./internal/netsim ./internal/lang
+
 vet:
 	$(GO) vet ./...
 
-# Pre-merge gate: vet, the race-enabled short test suite, and a short fuzz
-# pass over the wire-protocol decoders (the surface exposed to a faulty or
-# corrupting channel). ~2 minutes total.
+# Pre-merge gate: vet, the race-enabled short test suite, the zero-alloc
+# regression pass, and a short fuzz pass over the wire-protocol decoders
+# (the surface exposed to a faulty or corrupting channel). ~2 minutes total.
 check: vet
 	$(GO) test -race -short ./...
+	$(MAKE) test-allocs
 	$(MAKE) fuzz-smoke
 
 # 10-second smoke of each proto fuzz target; `go test -fuzz` accepts one

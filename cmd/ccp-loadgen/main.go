@@ -9,12 +9,15 @@
 //	ccp-loadgen                          # default steps, table to stdout
 //	ccp-loadgen -json BENCH_scale.json   # also write machine-readable output
 //	ccp-loadgen -flows 1,10,100,1000 -reports 200 -shards 8 -interval 1ms
+//	ccp-loadgen -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -23,22 +26,45 @@ import (
 )
 
 func main() {
+	// Exit codes live only here: run's defers (profile flushes) must fire
+	// before os.Exit, which skips them.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		flows    = flag.String("flows", "1,10,100,1000", "comma-separated flow-count steps")
-		reports  = flag.Int("reports", 200, "closed-loop reports per flow per step")
-		shards   = flag.Int("shards", 0, "runtime shards (0 = GOMAXPROCS)")
-		interval = flag.Duration("interval", time.Millisecond, "batch coalescing window")
-		maxBatch = flag.Int("max-batch", 64, "max reports per batch frame")
-		seed     = flag.Int64("seed", 1, "seed for generated report contents")
-		jsonOut  = flag.String("json", "", "write BENCH_scale.json-style output to this path")
+		flows      = flag.String("flows", "1,10,100,1000", "comma-separated flow-count steps")
+		reports    = flag.Int("reports", 200, "closed-loop reports per flow per step")
+		shards     = flag.Int("shards", 0, "runtime shards (0 = GOMAXPROCS)")
+		interval   = flag.Duration("interval", time.Millisecond, "batch coalescing window")
+		maxBatch   = flag.Int("max-batch", 64, "max reports per batch frame")
+		seed       = flag.Int64("seed", 1, "seed for generated report contents")
+		jsonOut    = flag.String("json", "", "write BENCH_scale.json-style output to this path")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark to this path")
+		memProfile = flag.String("memprofile", "", "write a post-run heap profile to this path")
 	)
 	flag.Parse()
 
 	counts, err := parseFlows(*flows)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ccp-loadgen: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccp-loadgen: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ccp-loadgen: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	res, err := experiments.Scale(experiments.ScaleConfig{
 		FlowCounts:     counts,
 		ReportsPerFlow: *reports,
@@ -49,16 +75,32 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ccp-loadgen: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Print(res.String())
 	if *jsonOut != "" {
 		if err := res.WriteJSON(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "ccp-loadgen: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
 	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccp-loadgen: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained, not transient, memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ccp-loadgen: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *memProfile)
+	}
+	return 0
 }
 
 func parseFlows(s string) ([]int, error) {

@@ -3,6 +3,11 @@
 // latency. Every message is marshalled to and from the wire format, so the
 // full protocol path is exercised even in simulation; only the transport's
 // latency is modelled rather than measured.
+//
+// Frames cross the bridge as pooled buffers (proto.MarshalFrame) and are
+// decoded into per-bridge scratch state (proto.Decoder), so a steady stream
+// of reports costs one frame-pool round trip per message instead of a fresh
+// byte slice plus a fresh message struct.
 package bridge
 
 import (
@@ -16,6 +21,11 @@ import (
 // Handler consumes datapath→agent messages: a *core.Agent or a sharded
 // *runtime.Runtime both satisfy it, so simulations can swap the single-loop
 // agent for the sharded executor without touching the bridge.
+//
+// Ownership: m is only valid for the duration of the call — the bridge
+// decodes into reusable scratch state and reclaims it as soon as
+// HandleMessage returns. An implementation that queues m for later must take
+// its own copy (proto.Clone).
 type Handler interface {
 	HandleMessage(m proto.Msg, reply func(proto.Msg) error)
 }
@@ -44,6 +54,11 @@ type Bridge struct {
 	// "in the kernel" at crash time must vanish with it.
 	gen   uint64
 	stats Stats
+
+	// dec is the bridge's decode scratch. The simulator is single-threaded
+	// and every delivery consumes its decoded message before returning, so
+	// one decoder serves both directions.
+	dec proto.Decoder
 }
 
 // New creates a bridge to agent with the given one-way IPC latency.
@@ -76,22 +91,24 @@ func (b *Bridge) Stopped() bool { return b.stopped }
 func (b *Bridge) DatapathSender(deliver func(proto.Msg)) func(proto.Msg) error {
 	reply := func(m proto.Msg) error {
 		// Marshal on the agent side, unmarshal on the datapath side.
-		data, err := proto.Marshal(m)
+		f, err := proto.MarshalFrame(m)
 		if err != nil {
 			b.stats.MarshalErrors++
 			return err
 		}
 		if b.stopped {
+			f.Release()
 			return nil // silently lost, like a dead process's socket buffer
 		}
 		b.stats.ToDpMsgs++
-		b.stats.ToDpBytes += int64(len(data))
+		b.stats.ToDpBytes += int64(len(f.B))
 		gen := b.gen
 		b.sim.Schedule(b.latency, func() {
+			defer f.Release() // the frame dies with the delivery either way
 			if b.stopped || b.gen != gen {
 				return // crashed while in flight
 			}
-			msg, err := proto.Unmarshal(data)
+			msg, err := b.dec.Unmarshal(f.B)
 			if err != nil {
 				b.stats.MarshalErrors++
 				return
@@ -101,22 +118,24 @@ func (b *Bridge) DatapathSender(deliver func(proto.Msg)) func(proto.Msg) error {
 		return nil
 	}
 	return func(m proto.Msg) error {
-		data, err := proto.Marshal(m)
+		f, err := proto.MarshalFrame(m)
 		if err != nil {
 			b.stats.MarshalErrors++
 			return err
 		}
 		if b.stopped {
+			f.Release()
 			return nil
 		}
 		b.stats.ToAgentMsgs++
-		b.stats.ToAgentBytes += int64(len(data))
+		b.stats.ToAgentBytes += int64(len(f.B))
 		gen := b.gen
 		b.sim.Schedule(b.latency, func() {
+			defer f.Release()
 			if b.stopped || b.gen != gen {
 				return // crashed while in flight
 			}
-			msg, err := proto.Unmarshal(data)
+			msg, err := b.dec.Unmarshal(f.B)
 			if err != nil {
 				b.stats.MarshalErrors++
 				return

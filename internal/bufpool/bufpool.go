@@ -1,0 +1,55 @@
+// Package bufpool provides pooled byte buffers for the message hot paths.
+// The wire codec, the IPC transports, and the socket link all move short
+// frames at high rates; allocating a fresh []byte per frame makes the GC, not
+// the protocol, the bottleneck at scale. A Buf is a reference-counted-by-
+// convention buffer: exactly one owner at a time, handed off explicitly, and
+// returned to the pool with Release when the owner is done.
+//
+// Ownership rules (shared by every user of the pool):
+//
+//   - Get transfers ownership of the returned Buf to the caller.
+//   - Passing a *Buf to another component transfers ownership; the sender
+//     must not touch it afterwards.
+//   - The final owner calls Release exactly once. Releasing twice, or using
+//     B after Release, corrupts whatever the pool hands the buffer to next.
+//   - Wrap builds a non-pooled Buf around an existing slice; its Release is
+//     a no-op, so code paths can treat pooled and unpooled frames uniformly.
+package bufpool
+
+import "sync"
+
+// Buf is one pooled buffer. B is the payload: valid from Get (or Wrap) until
+// Release.
+type Buf struct {
+	B      []byte
+	pooled bool
+}
+
+var pool = sync.Pool{New: func() any {
+	return &Buf{B: make([]byte, 0, 512), pooled: true}
+}}
+
+// Get returns a buffer with len(B) == 0 and cap(B) >= capHint. The caller
+// owns it until Release.
+func Get(capHint int) *Buf {
+	b := pool.Get().(*Buf)
+	if cap(b.B) < capHint {
+		b.B = make([]byte, 0, capHint)
+	}
+	b.B = b.B[:0]
+	return b
+}
+
+// Wrap returns a non-pooled Buf aliasing data, so APIs that hand out pooled
+// frames can also hand out caller-owned slices. Release on the result is a
+// no-op.
+func Wrap(data []byte) *Buf { return &Buf{B: data} }
+
+// Release returns the buffer to the pool. It is a no-op on nil or wrapped
+// buffers. The caller must not use b (or b.B) afterwards.
+func (b *Buf) Release() {
+	if b == nil || !b.pooled {
+		return
+	}
+	pool.Put(b)
+}

@@ -1,0 +1,33 @@
+package bufpool
+
+import "testing"
+
+func TestGetRelease(t *testing.T) {
+	b := Get(100)
+	if len(b.B) != 0 {
+		t.Fatalf("len=%d, want 0", len(b.B))
+	}
+	if cap(b.B) < 100 {
+		t.Fatalf("cap=%d, want >= 100", cap(b.B))
+	}
+	b.B = append(b.B, 1, 2, 3)
+	b.Release()
+
+	// A fresh Get must come back empty even if it reuses the released buffer.
+	c := Get(1)
+	if len(c.B) != 0 {
+		t.Fatalf("reused buffer not reset: len=%d", len(c.B))
+	}
+	c.Release()
+}
+
+func TestWrapReleaseNoop(t *testing.T) {
+	data := []byte{1, 2, 3}
+	b := Wrap(data)
+	b.Release() // must not enter the pool
+	if &b.B[0] != &data[0] {
+		t.Fatal("Wrap did not alias input")
+	}
+	var nilBuf *Buf
+	nilBuf.Release() // must not panic
+}

@@ -84,6 +84,9 @@ type flowState struct {
 	// Zero-Seq messages (unsequenced) bypass the checks.
 	lastReportSeq uint32
 	lastUrgentSeq uint32
+	// samples is vector-mode scratch, reused across reports (OnMeasurement
+	// must not retain it; see Measurement).
+	samples []PktSample
 }
 
 // staleSeq reports whether a datapath-stamped sequence number has already
@@ -196,9 +199,12 @@ func (a *Agent) handleLocked(m proto.Msg, reply func(proto.Msg) error) {
 		fields := st.flow.vectorFields()
 		meas := Measurement{Seq: v.Seq, Names: st.flow.reportNames()}
 		if int(v.NumFields) == len(fields) {
+			samples := st.samples[:0]
 			for i := 0; i < v.Rows(); i++ {
-				meas.Samples = append(meas.Samples, PktSample{fields: fields, row: v.Row(i)})
+				samples = append(samples, PktSample{fields: fields, row: v.Row(i)})
 			}
+			st.samples = samples
+			meas.Samples = samples
 		}
 		st.alg.OnMeasurement(st.flow, meas)
 	case *proto.Urgent:
@@ -286,21 +292,29 @@ func (a *Agent) handleCreate(v *proto.Create, reply func(proto.Msg) error) {
 // ServeTransport reads wire messages from t until Recv fails, dispatching
 // each through HandleMessage with replies marshalled back onto t. It is the
 // agent's main loop when deployed as a separate process (Figure 1).
+//
+// The loop is pooled end to end: frames are received into pool buffers,
+// decoded into a loop-local Decoder's scratch (HandleMessage is synchronous
+// and does not retain the message), and released before the next read.
 func (a *Agent) ServeTransport(t ipc.Transport) error {
 	reply := func(m proto.Msg) error {
-		data, err := proto.Marshal(m)
+		f, err := proto.MarshalFrame(m)
 		if err != nil {
 			return err
 		}
-		return t.Send(data)
+		err = t.Send(f.B)
+		f.Release()
+		return err
 	}
+	var dec proto.Decoder
 	for {
-		data, err := t.Recv()
+		f, err := ipc.RecvFrame(t)
 		if err != nil {
 			return err
 		}
-		m, err := proto.Unmarshal(data)
+		m, err := dec.Unmarshal(f.B)
 		if err != nil {
+			f.Release()
 			a.mu.Lock()
 			a.stats.Errors++
 			a.mu.Unlock()
@@ -308,6 +322,7 @@ func (a *Agent) ServeTransport(t ipc.Transport) error {
 			continue
 		}
 		a.HandleMessage(m, reply)
+		f.Release()
 	}
 }
 

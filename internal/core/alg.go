@@ -21,6 +21,11 @@ import (
 // Measurement is a batch of datapath measurements delivered to
 // OnMeasurement: named scalar fields (fold registers or the EWMA defaults)
 // and, in vector mode, per-packet samples.
+//
+// Ownership: Values and Samples alias decode scratch that the agent reuses
+// for the next report — they are valid only for the duration of the
+// OnMeasurement call. An algorithm that needs history must copy the numbers
+// it cares about into its own state.
 type Measurement struct {
 	// Seq is the per-flow report sequence number.
 	Seq uint32

@@ -54,6 +54,10 @@ type Flow struct {
 	// Stats observed by the agent for this flow.
 	reports int
 	urgents int
+
+	// names caches reportNames' result: report dispatch is the agent's hot
+	// path and the name list only changes on Install.
+	names []string
 }
 
 // nextSeq allocates the next control sequence number, skipping 0 on wrap
@@ -86,6 +90,7 @@ func (f *Flow) Install(p *lang.Program) error {
 		return err
 	}
 	f.installed = clamped
+	f.names = nil // report field names follow the installed program
 	return nil
 }
 
@@ -148,12 +153,17 @@ func (f *Flow) applyPolicy(p *lang.Program) *lang.Program {
 }
 
 // reportNames returns the field names for incoming scalar measurements,
-// based on the installed program (EWMA defaults before any install).
+// based on the installed program (EWMA defaults before any install). The
+// list is cached until the next Install.
 func (f *Flow) reportNames() []string {
-	if f.installed == nil {
-		return lang.EWMAReportNames()
+	if f.names == nil {
+		if f.installed == nil {
+			f.names = lang.EWMAReportNames()
+		} else {
+			f.names = f.installed.RegNames()
+		}
 	}
-	return f.installed.RegNames()
+	return f.names
 }
 
 // vectorFields returns the per-packet fields for vector measurements.

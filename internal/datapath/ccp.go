@@ -38,6 +38,13 @@ type Config struct {
 	Clock netsim.Clock
 	// ToAgent transmits a message to the agent. In simulation it schedules
 	// a delayed delivery; over a real transport it marshals and sends.
+	//
+	// Ownership: the message (including a Batch's Msgs and any Fields/Data
+	// slices) is only valid for the duration of the call — the runtime emits
+	// reports from reusable scratch. ToAgent must marshal or deep-copy
+	// (proto.Clone) anything it keeps past returning. Both the simulator
+	// bridge and SocketLink marshal synchronously, so they satisfy this for
+	// free.
 	ToAgent func(proto.Msg) error
 	// FallbackAfter reverts to in-datapath NewReno when no agent message
 	// has arrived for this long (0 disables the watchdog).
@@ -154,6 +161,17 @@ type CCP struct {
 	// Report coalescing (§4 batching).
 	pending    []proto.Msg
 	batchTimer netsim.Timer
+
+	// Report scratch: messages handed to ToAgent are built here and reused
+	// once the agent side has consumed them (ToAgent's ownership contract),
+	// so steady-state reporting allocates nothing. Slab counters reset after
+	// every send/flush; pending holds pointers into the slabs meanwhile.
+	repMeas       []proto.Measurement
+	repVecs       []proto.Vector
+	nRepMeas      int
+	nRepVecs      int
+	scratchUrgent proto.Urgent
+	scratchBatch  proto.Batch
 
 	// Cached metrics instruments (detached no-ops when cfg.Metrics is nil).
 	mReportsSent *metrics.Counter
@@ -587,12 +605,17 @@ func (d *CCP) rttDur(rtts float64) time.Duration {
 }
 
 // report ships the batched measurement state to the agent and resets it.
+// Report messages are built in the scratch slabs (see the field comments):
+// ToAgent consumes its message synchronously, so once a report leaves via
+// send/flushBatch its slab entry — Fields backing included — is reusable.
 func (d *CCP) report() {
 	d.reportSeq++
 	switch d.measureMode() {
 	case lang.MeasureFold:
-		fields := d.fold.ReadRegs(d.vars, make([]float64, 0, d.fold.NumRegs()))
-		d.sendReport(&proto.Measurement{SID: d.cfg.SID, Seq: d.reportSeq, Fields: fields})
+		v := d.nextRepMeas()
+		v.SID, v.Seq = d.cfg.SID, d.reportSeq
+		v.Fields = d.fold.ReadRegs(d.vars, v.Fields[:0])
+		d.sendReport(v)
 		d.stats.ReportsSent++
 		d.mReportsSent.Inc()
 		d.fold.InitRegs(d.vars)
@@ -600,24 +623,23 @@ func (d *CCP) report() {
 		if len(d.vecFields) == 0 {
 			return
 		}
-		data := make([]float64, len(d.vec))
-		copy(data, d.vec)
+		v := d.nextRepVec()
+		v.SID, v.Seq = d.cfg.SID, d.reportSeq
+		v.NumFields = uint8(len(d.vecFields))
+		v.Data = append(v.Data[:0], d.vec...)
 		d.vec = d.vec[:0]
-		d.sendReport(&proto.Vector{
-			SID:       d.cfg.SID,
-			Seq:       d.reportSeq,
-			NumFields: uint8(len(d.vecFields)),
-			Data:      data,
-		})
+		d.sendReport(v)
 		d.stats.VectorsSent++
 		d.mReportsSent.Inc()
-		d.stats.VectorRowsSent += len(data) / len(d.vecFields)
+		d.stats.VectorRowsSent += len(v.Data) / len(d.vecFields)
 	default: // EWMA (§3 prototype report)
 		ecnFrac := 0.0
 		if d.pktsAcc > 0 {
 			ecnFrac = float64(d.ecnAcc) / float64(d.pktsAcc)
 		}
-		fields := []float64{
+		v := d.nextRepMeas()
+		v.SID, v.Seq = d.cfg.SID, d.reportSeq
+		v.Fields = append(v.Fields[:0],
 			d.ewmaRtt.Value(),
 			d.ewmaSnd.Value(),
 			d.ewmaRcv.Value(),
@@ -625,13 +647,41 @@ func (d *CCP) report() {
 			d.lostAcc,
 			ecnFrac,
 			d.lastRtt,
-		}
-		d.sendReport(&proto.Measurement{SID: d.cfg.SID, Seq: d.reportSeq, Fields: fields})
+		)
+		d.sendReport(v)
 		d.stats.ReportsSent++
 		d.mReportsSent.Inc()
 		d.ackedAcc, d.lostAcc = 0, 0
 		d.pktsAcc, d.ecnAcc = 0, 0
 	}
+}
+
+// nextRepMeas hands out a scratch Measurement. Slab growth relocates the
+// backing array, but entries already pending keep the old array alive through
+// their pointers, so handed-out messages are never disturbed.
+func (d *CCP) nextRepMeas() *proto.Measurement {
+	if d.nRepMeas == len(d.repMeas) {
+		d.repMeas = append(d.repMeas, proto.Measurement{})
+	}
+	v := &d.repMeas[d.nRepMeas]
+	d.nRepMeas++
+	return v
+}
+
+// nextRepVec hands out a scratch Vector (same discipline as nextRepMeas).
+func (d *CCP) nextRepVec() *proto.Vector {
+	if d.nRepVecs == len(d.repVecs) {
+		d.repVecs = append(d.repVecs, proto.Vector{})
+	}
+	v := &d.repVecs[d.nRepVecs]
+	d.nRepVecs++
+	return v
+}
+
+// resetReportScratch reclaims the slabs after the agent side has consumed
+// every outstanding report (i.e. right after a send or flush).
+func (d *CCP) resetReportScratch() {
+	d.nRepMeas, d.nRepVecs = 0, 0
 }
 
 func (d *CCP) sendUrgent(kind proto.UrgentKind, value float64) {
@@ -642,7 +692,8 @@ func (d *CCP) sendUrgent(kind proto.UrgentKind, value float64) {
 	// first keeps the per-flow order the agent observes identical to the
 	// unbatched schedule's.
 	d.flushBatch()
-	d.send(&proto.Urgent{SID: d.cfg.SID, Seq: d.urgentSeq, Kind: kind, Value: value})
+	d.scratchUrgent = proto.Urgent{SID: d.cfg.SID, Seq: d.urgentSeq, Kind: kind, Value: value}
+	d.send(&d.scratchUrgent)
 }
 
 func (d *CCP) send(m proto.Msg) {
@@ -659,6 +710,7 @@ func (d *CCP) send(m proto.Msg) {
 func (d *CCP) sendReport(m proto.Msg) {
 	if d.cfg.BatchInterval <= 0 {
 		d.send(m)
+		d.resetReportScratch()
 		return
 	}
 	d.pending = append(d.pending, m)
@@ -675,7 +727,8 @@ func (d *CCP) sendReport(m proto.Msg) {
 }
 
 // flushBatch ships any coalesced reports immediately. Safe to call with an
-// empty pending buffer.
+// empty pending buffer. The batch frame itself is scratch: ToAgent consumes
+// it synchronously, so pending and the report slabs are reclaimed on return.
 func (d *CCP) flushBatch() {
 	if d.batchTimer != nil {
 		d.batchTimer.Stop()
@@ -688,15 +741,17 @@ func (d *CCP) flushBatch() {
 		m := d.pending[0]
 		d.pending = d.pending[:0]
 		d.send(m)
+		d.resetReportScratch()
 		return
 	}
-	msgs := make([]proto.Msg, len(d.pending))
-	copy(msgs, d.pending)
-	d.pending = d.pending[:0]
 	d.stats.BatchesSent++
-	d.stats.BatchedReports += len(msgs)
-	d.mBatchSize.Observe(float64(len(msgs)))
-	d.send(&proto.Batch{Msgs: msgs})
+	d.stats.BatchedReports += len(d.pending)
+	d.mBatchSize.Observe(float64(len(d.pending)))
+	d.scratchBatch.Msgs = d.pending
+	d.send(&d.scratchBatch)
+	d.scratchBatch.Msgs = nil
+	d.pending = d.pending[:0]
+	d.resetReportScratch()
 }
 
 // applyCwnd routes a window update through the smoothing ramp when enabled:

@@ -29,7 +29,9 @@ func newRig(t *testing.T, link netsim.LinkConfig, opts tcp.Options, cfg datapath
 	cfg.SID = 1
 	cfg.Clock = r.sim
 	cfg.ToAgent = func(m proto.Msg) error {
-		r.sent = append(r.sent, m)
+		// ToAgent only borrows m (the runtime reuses its report scratch), so
+		// the capture log must deep-copy.
+		r.sent = append(r.sent, proto.Clone(m))
 		return nil
 	}
 	r.dp = datapath.New(cfg)

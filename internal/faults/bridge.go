@@ -39,11 +39,23 @@ func (b *Bridge) Inner() *bridge.Bridge { return b.inner }
 
 // Connect builds a datapath runtime for one flow whose channel to and from
 // the agent passes through the fault injector.
+//
+// Directions with a zero plan skip the wrapper's byte-level round trip: no
+// fault can touch the bytes and no delivery outlives the call, and the inner
+// bridge already runs the real codec once per message, so re-encoding here
+// would only burn allocations. Delivery counters advance exactly as the
+// injector's zero-plan path would, keeping fault sweeps' rate-0 rows
+// comparable.
 func (b *Bridge) Connect(cfg datapath.Config) *datapath.CCP {
 	cfg.Clock = b.sim
 	var dp *datapath.CCP
 	send := b.inner.DatapathSender(func(m proto.Msg) {
 		// Agent→datapath: faults apply after the bridge's latency.
+		if b.inj.plan.ToDatapath.Zero() {
+			b.inj.stats.ToDatapath.Delivered++
+			dp.Deliver(m)
+			return
+		}
 		data, err := proto.Marshal(m)
 		if err != nil {
 			return
@@ -60,6 +72,10 @@ func (b *Bridge) Connect(cfg datapath.Config) *datapath.CCP {
 	cfg.ToAgent = func(m proto.Msg) error {
 		// Datapath→agent: faults apply before the bridge's latency; the
 		// total delay (jitter + latency) is what the agent observes.
+		if b.inj.plan.ToAgent.Zero() {
+			b.inj.stats.ToAgent.Delivered++
+			return send(m)
+		}
 		data, err := proto.Marshal(m)
 		if err != nil {
 			return err

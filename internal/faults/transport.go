@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ccp-repro/ccp/internal/bufpool"
 	"github.com/ccp-repro/ccp/internal/ipc"
 )
 
@@ -41,10 +42,20 @@ func (t *Transport) Stats() DirStats {
 // transport, possibly delayed. Errors from synchronous deliveries are
 // returned; errors on delayed copies are dropped — the fate of a datagram
 // already handed to a dying kernel socket.
+//
+// A zero plan forwards msg without copying it (Send only borrows msg for the
+// call, so no copy is needed when no delivery can outlive it); non-zero plans
+// copy because jittered or reordered deliveries fire after Send returns.
 func (t *Transport) Send(msg []byte) error {
+	t.mu.Lock()
+	if t.inj.plan.ToAgent.Zero() {
+		t.inj.stats.ToAgent.Delivered++
+		err := t.inner.Send(msg)
+		t.mu.Unlock()
+		return err
+	}
 	data := append([]byte(nil), msg...)
 	box := &sendErr{}
-	t.mu.Lock()
 	t.inj.Apply(ToAgent, data, func(d []byte) {
 		box.record(t.inner.Send(d))
 	})
@@ -77,6 +88,11 @@ func (b *sendErr) take() error {
 
 // Recv passes through to the inner transport.
 func (t *Transport) Recv() ([]byte, error) { return t.inner.Recv() }
+
+// RecvFrame passes through to the inner transport's pooled receive path, so
+// wrapping a transport in fault injection does not reintroduce a per-message
+// receive allocation.
+func (t *Transport) RecvFrame() (*bufpool.Buf, error) { return ipc.RecvFrame(t.inner) }
 
 // Close closes the inner transport.
 func (t *Transport) Close() error { return t.inner.Close() }

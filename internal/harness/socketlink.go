@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ccp-repro/ccp/internal/bufpool"
 	"github.com/ccp-repro/ccp/internal/datapath"
 	"github.com/ccp-repro/ccp/internal/ipc"
 	"github.com/ccp-repro/ccp/internal/proto"
@@ -19,8 +20,9 @@ type SocketLinkConfig struct {
 	// the exponential growth (default 1s).
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
-	// InboxDepth bounds buffered agent messages between Pump calls (default
-	// 1024); overflow is dropped and counted, never blocking the reader.
+	// InboxDepth bounds buffered agent frames between Pump calls (default
+	// 1024); overflow is dropped and counted, never blocking the reader. A
+	// frame is one wire message, which may be a batch of reports.
 	InboxDepth int
 	// Logf, if set, receives connection lifecycle diagnostics.
 	Logf func(format string, args ...any)
@@ -35,7 +37,7 @@ type SocketLinkStats struct {
 	SendErrors   int
 	RecvErrors   int
 	DecodeErrors int
-	// Dropped counts agent messages discarded on inbox overflow.
+	// Dropped counts agent frames discarded on inbox overflow.
 	Dropped int
 	// UnknownSID counts agent messages for flows never attached.
 	UnknownSID int
@@ -58,7 +60,12 @@ type SocketLink struct {
 	needResync bool
 	stats      SocketLinkStats
 
-	inbox  chan proto.Msg
+	// inbox carries raw pooled frames from the reader goroutine to Pump;
+	// decoding happens on the simulation thread, into dec's reusable scratch,
+	// so the reader allocates nothing per message and decoded messages never
+	// cross goroutines.
+	inbox  chan *bufpool.Buf
+	dec    proto.Decoder
 	closed chan struct{}
 	done   sync.WaitGroup
 }
@@ -81,7 +88,7 @@ func NewSocketLink(cfg SocketLinkConfig) *SocketLink {
 	l := &SocketLink{
 		cfg:    cfg,
 		dps:    make(map[uint32]*datapath.CCP),
-		inbox:  make(chan proto.Msg, cfg.InboxDepth),
+		inbox:  make(chan *bufpool.Buf, cfg.InboxDepth),
 		closed: make(chan struct{}),
 	}
 	l.done.Add(1)
@@ -111,13 +118,14 @@ func (l *SocketLink) Attach(dp *datapath.CCP) {
 }
 
 // ToAgent is the datapath.Config.ToAgent function for flows using this link:
-// it marshals and sends, reporting an error while the link is down (the
-// datapath counts it and its §5 watchdog covers the gap).
+// it marshals into a pooled frame and sends, reporting an error while the
+// link is down (the datapath counts it and its §5 watchdog covers the gap).
 func (l *SocketLink) ToAgent(m proto.Msg) error {
-	data, err := proto.Marshal(m)
+	f, err := proto.MarshalFrame(m)
 	if err != nil {
 		return err
 	}
+	defer f.Release() // Send borrows the frame only for the call
 	l.mu.Lock()
 	tr := l.tr
 	l.mu.Unlock()
@@ -125,7 +133,7 @@ func (l *SocketLink) ToAgent(m proto.Msg) error {
 		l.note(func(s *SocketLinkStats) { s.SendErrors++ })
 		return fmt.Errorf("harness: agent link down")
 	}
-	if err := tr.Send(data); err != nil {
+	if err := tr.Send(f.B); err != nil {
 		l.note(func(s *SocketLinkStats) { s.SendErrors++ })
 		return err
 	}
@@ -152,18 +160,34 @@ func (l *SocketLink) Pump() {
 	}
 	for {
 		select {
-		case m := <-l.inbox:
-			l.mu.Lock()
-			dp := l.dps[m.FlowSID()]
-			if dp == nil {
-				l.stats.UnknownSID++
-			}
-			l.mu.Unlock()
-			if dp != nil {
-				dp.Deliver(m)
-			}
+		case f := <-l.inbox:
+			l.pumpFrame(f)
 		default:
 			return
+		}
+	}
+}
+
+// pumpFrame decodes one wire frame into the link's scratch decoder and routes
+// its messages (unbatched here: Pump routes by FlowSID, and a batch frame has
+// no single flow; splitting preserves frame order). Deliver consumes each
+// message before the next decode, so the scratch is safe to reuse.
+func (l *SocketLink) pumpFrame(f *bufpool.Buf) {
+	defer f.Release()
+	m, err := l.dec.Unmarshal(f.B)
+	if err != nil {
+		l.note(func(s *SocketLinkStats) { s.DecodeErrors++ })
+		return
+	}
+	for _, sub := range proto.Split(m) {
+		l.mu.Lock()
+		dp := l.dps[sub.FlowSID()]
+		if dp == nil {
+			l.stats.UnknownSID++
+		}
+		l.mu.Unlock()
+		if dp != nil {
+			dp.Deliver(sub)
 		}
 	}
 }
@@ -185,7 +209,15 @@ func (l *SocketLink) Close() error {
 		tr.Close()
 	}
 	l.done.Wait()
-	return nil
+	// The reader has exited; return any frames still queued to the pool.
+	for {
+		select {
+		case f := <-l.inbox:
+			f.Release()
+		default:
+			return nil
+		}
+	}
 }
 
 func (l *SocketLink) note(f func(*SocketLinkStats)) {
@@ -248,10 +280,11 @@ func (l *SocketLink) connectLoop() {
 	}
 }
 
-// readAll drains tr into the inbox until it fails.
+// readAll drains tr into the inbox until it fails. Frames are forwarded raw
+// (pooled, undecoded); a full inbox drops the frame back into the pool.
 func (l *SocketLink) readAll(tr ipc.Transport) {
 	for {
-		data, err := tr.Recv()
+		f, err := ipc.RecvFrame(tr)
 		if err != nil {
 			select {
 			case <-l.closed: // deliberate shutdown, not a failure
@@ -260,20 +293,11 @@ func (l *SocketLink) readAll(tr ipc.Transport) {
 			}
 			return
 		}
-		m, err := proto.Unmarshal(data)
-		if err != nil {
-			l.note(func(s *SocketLinkStats) { s.DecodeErrors++ })
-			continue
-		}
-		// Unbatch here: Pump routes by FlowSID, and a batch frame has no
-		// single flow. Splitting preserves order (sub-messages enter the
-		// inbox in frame order).
-		for _, sub := range proto.Split(m) {
-			select {
-			case l.inbox <- sub:
-			default:
-				l.note(func(s *SocketLinkStats) { s.Dropped++ })
-			}
+		select {
+		case l.inbox <- f:
+		default:
+			f.Release()
+			l.note(func(s *SocketLinkStats) { s.Dropped++ })
 		}
 	}
 }

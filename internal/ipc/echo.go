@@ -17,14 +17,18 @@ import (
 // in-process channel transport as a floor.
 
 // Echo serves echo requests on t until Recv fails: every received message is
-// sent straight back. Run it on its own goroutine (or process).
+// sent straight back. Run it on its own goroutine (or process). The loop is
+// allocation-free in steady state: each message is received as a pooled
+// frame, echoed, and released.
 func Echo(t Transport) {
 	for {
-		msg, err := t.Recv()
+		f, err := RecvFrame(t)
 		if err != nil {
 			return
 		}
-		if err := t.Send(msg); err != nil {
+		err = t.Send(f.B)
+		f.Release()
+		if err != nil {
 			return
 		}
 	}

@@ -9,6 +9,8 @@ package ipc
 import (
 	"errors"
 	"sync"
+
+	"github.com/ccp-repro/ccp/internal/bufpool"
 )
 
 // ErrClosed is returned by operations on a closed transport.
@@ -16,6 +18,13 @@ var ErrClosed = errors.New("ipc: transport closed")
 
 // Transport moves whole messages between an agent and a datapath. Send and
 // Recv are safe for concurrent use; message boundaries are preserved.
+//
+// Buffer ownership: Send borrows msg only for the duration of the call — the
+// transport writes or copies it before returning, so the caller may reuse
+// (or Release) its buffer immediately after Send returns. Recv returns a
+// slice the caller owns outright, which costs a copy or an allocation per
+// message; receive loops on a hot path should call the package-level
+// RecvFrame instead, which hands out a pooled frame the caller must Release.
 type Transport interface {
 	// Send transmits one message.
 	Send(msg []byte) error
@@ -27,10 +36,35 @@ type Transport interface {
 	Close() error
 }
 
-// chanTransport is one endpoint of an in-process pair.
+// FrameRecver is implemented by transports whose receive path can hand out
+// pooled frames without a per-message copy. The caller owns the returned
+// frame until it calls Release; the frame's bytes are invalid afterwards.
+type FrameRecver interface {
+	RecvFrame() (*bufpool.Buf, error)
+}
+
+// RecvFrame receives one message from t as a frame the caller must Release.
+// Transports implementing FrameRecver deliver a pooled buffer with no copy;
+// for any other Transport this falls back to Recv, wrapping the owned slice
+// in a no-op-Release frame so callers handle both uniformly.
+func RecvFrame(t Transport) (*bufpool.Buf, error) {
+	if fr, ok := t.(FrameRecver); ok {
+		return fr.RecvFrame()
+	}
+	msg, err := t.Recv()
+	if err != nil {
+		return nil, err
+	}
+	return bufpool.Wrap(msg), nil
+}
+
+// chanTransport is one endpoint of an in-process pair. Frames travel the
+// channels as pooled buffers: Send copies into a frame from the pool, and
+// RecvFrame hands that frame to the receiver, so a steady-state
+// Send/RecvFrame/Release loop recycles a fixed set of buffers.
 type chanTransport struct {
-	send chan<- []byte
-	recv <-chan []byte
+	send chan<- *bufpool.Buf
+	recv <-chan *bufpool.Buf
 
 	mu     sync.Mutex
 	closed chan struct{}
@@ -44,8 +78,8 @@ func ChanPair(depth int) (Transport, Transport) {
 	if depth < 0 {
 		depth = 0
 	}
-	ab := make(chan []byte, depth)
-	ba := make(chan []byte, depth)
+	ab := make(chan *bufpool.Buf, depth)
+	ba := make(chan *bufpool.Buf, depth)
 	a := &chanTransport{send: ab, recv: ba, closed: make(chan struct{})}
 	b := &chanTransport{send: ba, recv: ab, closed: make(chan struct{})}
 	a.peer, b.peer = b, a
@@ -53,28 +87,32 @@ func ChanPair(depth int) (Transport, Transport) {
 }
 
 func (c *chanTransport) Send(msg []byte) error {
-	cp := make([]byte, len(msg))
-	copy(cp, msg)
+	f := bufpool.Get(len(msg))
+	f.B = append(f.B, msg...)
 	// Check for closure first: a three-way select would pick randomly among
 	// ready cases, letting a send "succeed" into a closed pair's buffer.
 	select {
 	case <-c.closed:
+		f.Release()
 		return ErrClosed
 	case <-c.peer.closed:
+		f.Release()
 		return ErrClosed
 	default:
 	}
 	select {
 	case <-c.closed:
+		f.Release()
 		return ErrClosed
 	case <-c.peer.closed:
+		f.Release()
 		return ErrClosed
-	case c.send <- cp:
+	case c.send <- f:
 		return nil
 	}
 }
 
-func (c *chanTransport) Recv() ([]byte, error) {
+func (c *chanTransport) RecvFrame() (*bufpool.Buf, error) {
 	// A message already in flight when the peer closes must still be
 	// delivered (a real socket's receive buffer survives the peer's close),
 	// so queued messages win over the peer-closed signal: drain first,
@@ -86,23 +124,34 @@ func (c *chanTransport) Recv() ([]byte, error) {
 	default:
 	}
 	select {
-	case msg := <-c.recv:
-		return msg, nil
+	case f := <-c.recv:
+		return f, nil
 	default:
 	}
 	select {
 	case <-c.closed:
 		return nil, ErrClosed
-	case msg := <-c.recv:
-		return msg, nil
+	case f := <-c.recv:
+		return f, nil
 	case <-c.peer.closed:
 		select {
-		case msg := <-c.recv:
-			return msg, nil
+		case f := <-c.recv:
+			return f, nil
 		default:
 			return nil, ErrClosed
 		}
 	}
+}
+
+func (c *chanTransport) Recv() ([]byte, error) {
+	f, err := c.RecvFrame()
+	if err != nil {
+		return nil, err
+	}
+	msg := make([]byte, len(f.B))
+	copy(msg, f.B)
+	f.Release()
+	return msg, nil
 }
 
 func (c *chanTransport) Close() error {

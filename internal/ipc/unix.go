@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"github.com/ccp-repro/ccp/internal/bufpool"
 )
 
 // MaxFrame bounds a single message on stream transports; larger frames are
@@ -44,7 +46,9 @@ func (s *streamTransport) Send(msg []byte) error {
 	return err
 }
 
-func (s *streamTransport) Recv() ([]byte, error) {
+// RecvFrame reads one message into a pooled frame owned by the caller until
+// Release.
+func (s *streamTransport) RecvFrame() (*bufpool.Buf, error) {
 	s.recvMu.Lock()
 	defer s.recvMu.Unlock()
 	if _, err := io.ReadFull(s.conn, s.rhdr[:]); err != nil {
@@ -54,10 +58,23 @@ func (s *streamTransport) Recv() ([]byte, error) {
 	if n > MaxFrame {
 		return nil, fmt.Errorf("ipc: oversized frame (%d bytes)", n)
 	}
-	msg := make([]byte, n)
-	if _, err := io.ReadFull(s.conn, msg); err != nil {
+	f := bufpool.Get(int(n))
+	f.B = f.B[:n]
+	if _, err := io.ReadFull(s.conn, f.B); err != nil {
+		f.Release()
 		return nil, err
 	}
+	return f, nil
+}
+
+func (s *streamTransport) Recv() ([]byte, error) {
+	f, err := s.RecvFrame()
+	if err != nil {
+		return nil, err
+	}
+	msg := make([]byte, len(f.B))
+	copy(msg, f.B)
+	f.Release()
 	return msg, nil
 }
 
@@ -89,15 +106,10 @@ func DialUnix(path string) (Transport, error) {
 type dgramTransport struct {
 	conn *net.UnixConn
 	peer *net.UnixAddr
-	buf  sync.Pool
 }
 
 func newDgram(conn *net.UnixConn, peer *net.UnixAddr) Transport {
-	return &dgramTransport{
-		conn: conn,
-		peer: peer,
-		buf:  sync.Pool{New: func() any { b := make([]byte, MaxFrame); return &b }},
-	}
+	return &dgramTransport{conn: conn, peer: peer}
 }
 
 func (d *dgramTransport) Send(msg []byte) error {
@@ -108,15 +120,28 @@ func (d *dgramTransport) Send(msg []byte) error {
 	return err
 }
 
+// RecvFrame reads one datagram straight into a pooled frame — no per-message
+// copy. The caller owns the frame until Release.
+func (d *dgramTransport) RecvFrame() (*bufpool.Buf, error) {
+	f := bufpool.Get(MaxFrame)
+	f.B = f.B[:MaxFrame]
+	n, _, err := d.conn.ReadFromUnix(f.B)
+	if err != nil {
+		f.Release()
+		return nil, err
+	}
+	f.B = f.B[:n]
+	return f, nil
+}
+
 func (d *dgramTransport) Recv() ([]byte, error) {
-	bp := d.buf.Get().(*[]byte)
-	defer d.buf.Put(bp)
-	n, _, err := d.conn.ReadFromUnix(*bp)
+	f, err := d.RecvFrame()
 	if err != nil {
 		return nil, err
 	}
-	msg := make([]byte, n)
-	copy(msg, (*bp)[:n])
+	msg := make([]byte, len(f.B))
+	copy(msg, f.B)
+	f.Release()
 	return msg, nil
 }
 

@@ -1,0 +1,35 @@
+package lang
+
+import (
+	"testing"
+
+	"github.com/ccp-repro/ccp/internal/testenv"
+)
+
+// TestAllocsFoldStep pins the per-ACK fold execution at zero allocations:
+// Step runs once per ACK on the datapath hot path, so a single allocation
+// here multiplies by the packet rate.
+func TestAllocsFoldStep(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	cf, err := CompileFold(vegasFold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := make([]float64, VarTableSize(cf.NumRegs()))
+	cf.InitRegs(vars)
+	vars[PktFieldSlot(FieldRTT)] = 0.1
+	vars[FlowVarSlot(FlowCwnd)] = 14480
+	vars[FlowVarSlot(FlowMSS)] = 1448
+	if allocs := testing.AllocsPerRun(1000, func() { cf.Step(vars) }); allocs != 0 {
+		t.Fatalf("CompiledFold.Step allocated %.1f times per op, want 0", allocs)
+	}
+
+	// Reading the registers back into a reused destination is also on the
+	// report path and must stay free.
+	dst := make([]float64, 0, cf.NumRegs())
+	if allocs := testing.AllocsPerRun(1000, func() { dst = cf.ReadRegs(vars, dst[:0]) }); allocs != 0 {
+		t.Fatalf("CompiledFold.ReadRegs allocated %.1f times per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,43 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// Benchmarks for the event-queue hot cycle. Schedule/dispatch runs once per
+// simulated packet arrival, so its constant factor dominates large
+// simulations. `make benchstat` compares these against bench/baseline.txt.
+
+// BenchmarkScheduleDispatch measures the steady-state cycle at a realistic
+// queue depth: 256 pending events, each dispatch scheduling its successor.
+func BenchmarkScheduleDispatch(b *testing.B) {
+	s := New(1)
+	const depth = 256
+	var fn func()
+	fn = func() { s.Schedule(time.Microsecond, fn) }
+	for i := 0; i < depth; i++ {
+		s.Schedule(time.Duration(i)*time.Nanosecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkScheduleStopChurn measures the RTO idiom: each dispatched event
+// arms a long timer that is then abandoned, exercising the lazy-stop and
+// compaction machinery that keeps mass cancellation from bloating the heap.
+func BenchmarkScheduleStopChurn(b *testing.B) {
+	s := New(1)
+	noop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rto := s.Schedule(time.Second, noop)
+		s.Schedule(0, noop)
+		s.Step()
+		rto.Stop()
+	}
+}

@@ -1,0 +1,244 @@
+package proto
+
+import "fmt"
+
+// Decoder decodes wire messages into reusable scratch storage, so a
+// steady-state receive loop performs no heap allocation per message. The
+// package-level Unmarshal is this with a throwaway Decoder; hot receive
+// paths keep one Decoder per reader.
+//
+// Ownership rules:
+//
+//   - The message returned by Unmarshal — and everything reachable from it
+//     (Report Fields, Vector Data, Batch sub-messages) — is valid only until
+//     the next Unmarshal call on the same Decoder. Callers that need a
+//     message longer must Clone it.
+//   - Install.Prog aliases the input buffer (no copy on decode); it is
+//     additionally invalidated when the input buffer is released or reused.
+//     Receivers either consume the program during dispatch (the datapath
+//     parses it immediately) or copy it.
+//   - A Decoder is not safe for concurrent use. One Decoder per reading
+//     goroutine.
+//
+// A Decoder reused across messages may return empty (rather than nil)
+// Fields/Data/Msgs slices where a fresh decode would return nil; callers
+// must treat the two identically, as encoding does.
+type Decoder struct {
+	creates  []Create
+	meas     []Measurement
+	vecs     []Vector
+	urgents  []Urgent
+	closes   []Close
+	installs []Install
+	cwnds    []SetCwnd
+	rates    []SetRate
+	batch    Batch
+
+	nCreate, nMeas, nVec, nUrgent, nClose, nInstall, nCwnd, nRate int
+
+	// sub is the cursor for decoding batch sub-messages. It lives on the
+	// Decoder rather than the stack because the recursive decode call defeats
+	// escape analysis (a stack-local cursor costs one heap allocation per
+	// sub-message). Sub-decodes reject nested batches, so the cursor is never
+	// needed twice at once.
+	sub decoder
+}
+
+// Unmarshal decodes one message into the decoder's scratch storage. The
+// result is valid until the next Unmarshal on dec; see the type comment for
+// the full ownership rules.
+func (dec *Decoder) Unmarshal(data []byte) (Msg, error) {
+	dec.nCreate, dec.nMeas, dec.nVec, dec.nUrgent = 0, 0, 0, 0
+	dec.nClose, dec.nInstall, dec.nCwnd, dec.nRate = 0, 0, 0, 0
+	d := decoder{data: data}
+	m, err := dec.decode(&d, true)
+	if err != nil {
+		return nil, err
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(d.data) {
+		return nil, fmt.Errorf("proto: %d trailing bytes after %s", len(d.data)-d.pos, m.Type())
+	}
+	return m, nil
+}
+
+// decode reads one message from d. Batches are accepted only at the top
+// level (allowBatch), matching the no-nesting wire rule.
+func (dec *Decoder) decode(d *decoder, allowBatch bool) (Msg, error) {
+	t := MsgType(d.byte())
+	switch t {
+	case TypeCreate:
+		v := dec.nextCreate()
+		v.SID, v.MSS, v.InitCwnd, v.Seq = d.u32(), d.u32(), d.u32(), d.u32()
+		v.SrcAddr = d.str()
+		v.DstAddr = d.str()
+		v.Alg = d.str()
+		return v, nil
+	case TypeMeasurement:
+		v := dec.nextMeas()
+		v.SID, v.Seq = d.u32(), d.u32()
+		n := d.length(maxFieldCount, 8)
+		v.Fields = v.Fields[:0]
+		if d.err == nil && n > 0 {
+			if cap(v.Fields) < n {
+				v.Fields = make([]float64, 0, n)
+			}
+			for i := 0; i < n; i++ {
+				v.Fields = append(v.Fields, d.f64())
+			}
+		}
+		return v, nil
+	case TypeVector:
+		v := dec.nextVec()
+		v.SID, v.Seq, v.NumFields = d.u32(), d.u32(), d.byte()
+		n := d.length(maxVectorLen, 8)
+		v.Data = v.Data[:0]
+		if d.err == nil {
+			if v.NumFields == 0 || n%int(v.NumFields) != 0 {
+				return nil, fmt.Errorf("proto: vector shape %d x %d invalid", n, v.NumFields)
+			}
+			if cap(v.Data) < n {
+				v.Data = make([]float64, 0, n)
+			}
+			for i := 0; i < n; i++ {
+				v.Data = append(v.Data, d.f64())
+			}
+		}
+		return v, nil
+	case TypeUrgent:
+		v := dec.nextUrgent()
+		v.SID, v.Seq, v.Kind, v.Value = d.u32(), d.u32(), UrgentKind(d.byte()), d.f64()
+		if d.err == nil && (v.Kind < UrgentDupAck || v.Kind > UrgentECN) {
+			return nil, fmt.Errorf("proto: invalid urgent kind %d", v.Kind)
+		}
+		return v, nil
+	case TypeClose:
+		v := dec.nextClose()
+		v.SID = d.u32()
+		return v, nil
+	case TypeInstall:
+		v := dec.nextInstall()
+		v.SID, v.Seq = d.u32(), d.u32()
+		n := d.length(maxProgramSize, 1)
+		// Aliases the input: the single copy, if the receiver needs one, is
+		// the receiver's to make (most parse the program immediately).
+		v.Prog = d.view(n)
+		return v, nil
+	case TypeSetCwnd:
+		v := dec.nextCwnd()
+		v.SID, v.Seq, v.Bytes = d.u32(), d.u32(), d.u32()
+		return v, nil
+	case TypeSetRate:
+		v := dec.nextRate()
+		v.SID, v.Seq, v.Bps = d.u32(), d.u32(), d.f64()
+		return v, nil
+	case TypeBatch:
+		if !allowBatch {
+			return nil, fmt.Errorf("proto: nested batch")
+		}
+		v := &dec.batch
+		v.Msgs = v.Msgs[:0]
+		n := d.length(maxBatchMsgs, 1)
+		for i := 0; i < n && d.err == nil; i++ {
+			sz := d.length(len(d.data)-d.pos, 1)
+			raw := d.view(sz)
+			if d.err != nil {
+				break
+			}
+			dec.sub = decoder{data: raw}
+			sub, err := dec.decode(&dec.sub, false)
+			if err == nil && dec.sub.err != nil {
+				err = dec.sub.err
+			}
+			if err == nil && dec.sub.pos != len(dec.sub.data) {
+				err = fmt.Errorf("proto: %d trailing bytes after %s", len(dec.sub.data)-dec.sub.pos, sub.Type())
+			}
+			if err != nil {
+				return nil, fmt.Errorf("proto: batch message %d: %w", i, err)
+			}
+			v.Msgs = append(v.Msgs, sub)
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("proto: unknown message type %d", t)
+}
+
+// The next* helpers hand out one scratch element per message decoded,
+// growing the slab on first use and reusing it (including each element's
+// retained slice capacity) thereafter. Pointers handed out earlier in the
+// same Unmarshal stay valid across growth: they alias the old backing array,
+// which the results keep alive.
+
+func (dec *Decoder) nextCreate() *Create {
+	if dec.nCreate == len(dec.creates) {
+		dec.creates = append(dec.creates, Create{})
+	}
+	v := &dec.creates[dec.nCreate]
+	dec.nCreate++
+	return v
+}
+
+func (dec *Decoder) nextMeas() *Measurement {
+	if dec.nMeas == len(dec.meas) {
+		dec.meas = append(dec.meas, Measurement{})
+	}
+	v := &dec.meas[dec.nMeas]
+	dec.nMeas++
+	return v
+}
+
+func (dec *Decoder) nextVec() *Vector {
+	if dec.nVec == len(dec.vecs) {
+		dec.vecs = append(dec.vecs, Vector{})
+	}
+	v := &dec.vecs[dec.nVec]
+	dec.nVec++
+	return v
+}
+
+func (dec *Decoder) nextUrgent() *Urgent {
+	if dec.nUrgent == len(dec.urgents) {
+		dec.urgents = append(dec.urgents, Urgent{})
+	}
+	v := &dec.urgents[dec.nUrgent]
+	dec.nUrgent++
+	return v
+}
+
+func (dec *Decoder) nextClose() *Close {
+	if dec.nClose == len(dec.closes) {
+		dec.closes = append(dec.closes, Close{})
+	}
+	v := &dec.closes[dec.nClose]
+	dec.nClose++
+	return v
+}
+
+func (dec *Decoder) nextInstall() *Install {
+	if dec.nInstall == len(dec.installs) {
+		dec.installs = append(dec.installs, Install{})
+	}
+	v := &dec.installs[dec.nInstall]
+	dec.nInstall++
+	return v
+}
+
+func (dec *Decoder) nextCwnd() *SetCwnd {
+	if dec.nCwnd == len(dec.cwnds) {
+		dec.cwnds = append(dec.cwnds, SetCwnd{})
+	}
+	v := &dec.cwnds[dec.nCwnd]
+	dec.nCwnd++
+	return v
+}
+
+func (dec *Decoder) nextRate() *SetRate {
+	if dec.nRate == len(dec.rates) {
+		dec.rates = append(dec.rates, SetRate{})
+	}
+	v := &dec.rates[dec.nRate]
+	dec.nRate++
+	return v
+}

@@ -1,0 +1,23 @@
+package proto
+
+import "github.com/ccp-repro/ccp/internal/bufpool"
+
+// MarshalFrame encodes m into a pooled frame. The caller owns the returned
+// buffer (frame.B is the encoded message) and must Release it exactly once
+// when the bytes are no longer needed — after the transport's Send returns,
+// or after a receiver has finished decoding. Ownership may be handed off
+// (e.g. scheduled into a simulator event that releases after delivery), but
+// never shared.
+//
+// Steady state this allocates nothing: buffers cycle through the pool and
+// the encoder appends within their retained capacity.
+func MarshalFrame(m Msg) (*bufpool.Buf, error) {
+	f := bufpool.Get(64)
+	b, err := AppendMarshal(f.B, m)
+	if err != nil {
+		f.Release()
+		return nil, err
+	}
+	f.B = b
+	return f, nil
+}

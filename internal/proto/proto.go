@@ -330,12 +330,20 @@ func AppendMarshal(dst []byte, m Msg) ([]byte, error) {
 			if _, nested := sub.(*Batch); nested {
 				return nil, fmt.Errorf("proto: nested batch")
 			}
-			enc, err := Marshal(sub)
-			if err != nil {
+			// Encode the sub-message in place, then shift it right to make
+			// room for its uvarint length prefix — no intermediate buffer.
+			start := len(b)
+			var err error
+			if b, err = AppendMarshal(b, sub); err != nil {
 				return nil, err
 			}
-			b = binary.AppendUvarint(b, uint64(len(enc)))
-			b = append(b, enc...)
+			subLen := len(b) - start
+			pl := uvarintLen(uint64(subLen))
+			for i := 0; i < pl; i++ {
+				b = append(b, 0)
+			}
+			copy(b[start+pl:], b[start:len(b)-pl])
+			binary.PutUvarint(b[start:start+pl], uint64(subLen))
 		}
 	default:
 		return nil, fmt.Errorf("proto: cannot marshal %T", m)
@@ -343,87 +351,12 @@ func AppendMarshal(dst []byte, m Msg) ([]byte, error) {
 	return b, nil
 }
 
-// Unmarshal decodes one message.
+// Unmarshal decodes one message into freshly allocated structs, with one
+// exception: Install.Prog aliases data (see Decoder for the rule). Receive
+// loops that decode at high rates should hold a reusable Decoder instead.
 func Unmarshal(data []byte) (Msg, error) {
-	d := &decoder{data: data}
-	t := MsgType(d.byte())
-	var m Msg
-	switch t {
-	case TypeCreate:
-		v := &Create{SID: d.u32(), MSS: d.u32(), InitCwnd: d.u32(), Seq: d.u32()}
-		v.SrcAddr = d.str()
-		v.DstAddr = d.str()
-		v.Alg = d.str()
-		m = v
-	case TypeMeasurement:
-		v := &Measurement{SID: d.u32(), Seq: d.u32()}
-		n := d.length(maxFieldCount, 8)
-		if d.err == nil && n > 0 {
-			v.Fields = make([]float64, n)
-			for i := range v.Fields {
-				v.Fields[i] = d.f64()
-			}
-		}
-		m = v
-	case TypeVector:
-		v := &Vector{SID: d.u32(), Seq: d.u32(), NumFields: d.byte()}
-		n := d.length(maxVectorLen, 8)
-		if d.err == nil {
-			if v.NumFields == 0 || n%int(v.NumFields) != 0 {
-				return nil, fmt.Errorf("proto: vector shape %d x %d invalid", n, v.NumFields)
-			}
-			v.Data = make([]float64, n)
-			for i := range v.Data {
-				v.Data[i] = d.f64()
-			}
-		}
-		m = v
-	case TypeUrgent:
-		v := &Urgent{SID: d.u32(), Seq: d.u32(), Kind: UrgentKind(d.byte()), Value: d.f64()}
-		if d.err == nil && (v.Kind < UrgentDupAck || v.Kind > UrgentECN) {
-			return nil, fmt.Errorf("proto: invalid urgent kind %d", v.Kind)
-		}
-		m = v
-	case TypeClose:
-		m = &Close{SID: d.u32()}
-	case TypeInstall:
-		v := &Install{SID: d.u32(), Seq: d.u32()}
-		n := d.length(maxProgramSize, 1)
-		v.Prog = d.bytes(n)
-		m = v
-	case TypeSetCwnd:
-		m = &SetCwnd{SID: d.u32(), Seq: d.u32(), Bytes: d.u32()}
-	case TypeSetRate:
-		m = &SetRate{SID: d.u32(), Seq: d.u32(), Bps: d.f64()}
-	case TypeBatch:
-		v := &Batch{}
-		n := d.length(maxBatchMsgs, 1)
-		for i := 0; i < n && d.err == nil; i++ {
-			sz := d.length(len(d.data)-d.pos, 1)
-			raw := d.view(sz)
-			if d.err != nil {
-				break
-			}
-			sub, err := Unmarshal(raw)
-			if err != nil {
-				return nil, fmt.Errorf("proto: batch message %d: %w", i, err)
-			}
-			if _, nested := sub.(*Batch); nested {
-				return nil, fmt.Errorf("proto: nested batch")
-			}
-			v.Msgs = append(v.Msgs, sub)
-		}
-		m = v
-	default:
-		return nil, fmt.Errorf("proto: unknown message type %d", t)
-	}
-	if d.err != nil {
-		return nil, d.err
-	}
-	if d.pos != len(d.data) {
-		return nil, fmt.Errorf("proto: %d trailing bytes after %s", len(d.data)-d.pos, t)
-	}
-	return m, nil
+	var dec Decoder
+	return dec.Unmarshal(data)
 }
 
 type decoder struct {
@@ -509,17 +442,6 @@ func (d *decoder) view(n int) []byte {
 		return nil
 	}
 	out := d.data[d.pos : d.pos+n]
-	d.pos += n
-	return out
-}
-
-func (d *decoder) bytes(n int) []byte {
-	if d.err != nil || d.pos+n > len(d.data) {
-		d.fail()
-		return nil
-	}
-	out := make([]byte, n)
-	copy(out, d.data[d.pos:])
 	d.pos += n
 	return out
 }

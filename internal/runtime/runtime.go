@@ -31,6 +31,11 @@ import (
 // Handler is anything that consumes datapath→agent messages: a bare
 // core.Agent, or this package's sharded Runtime. Bridges and transports
 // dispatch into a Handler without caring which.
+//
+// Ownership: m is borrowed for the duration of the call — callers decode
+// into reusable scratch and reclaim it after HandleMessage returns. An
+// implementation that queues m must take its own copy (proto.Clone); the
+// sharded Runtime does exactly that.
 type Handler interface {
 	HandleMessage(m proto.Msg, reply func(proto.Msg) error)
 }
@@ -200,6 +205,11 @@ func (r *Runtime) shardFor(sid uint32) *shard {
 // shard. In inline mode it is a direct synchronous call. Batches whose
 // messages span shards are split into per-shard sub-batches, preserving
 // per-flow order (each flow's messages stay on one shard, in arrival order).
+//
+// In sharded mode the message outlives this call in a shard mailbox, while
+// the Handler contract lets the caller reuse m as soon as we return — so the
+// sharded path deep-copies m before enqueueing. Callers that already own the
+// message (ServeTransport) dispatch through handleOwned and skip the copy.
 func (r *Runtime) HandleMessage(m proto.Msg, reply func(proto.Msg) error) {
 	if r.inline != nil {
 		r.dispatched.Add(1)
@@ -207,6 +217,12 @@ func (r *Runtime) HandleMessage(m proto.Msg, reply func(proto.Msg) error) {
 		r.inline.HandleMessage(m, reply)
 		return
 	}
+	r.handleOwned(proto.Clone(m), reply)
+}
+
+// handleOwned routes a message the runtime owns outright (no aliasing of
+// caller scratch) to its shard.
+func (r *Runtime) handleOwned(m proto.Msg, reply func(proto.Msg) error) {
 	if b, ok := m.(*proto.Batch); ok {
 		r.routeBatch(b, reply)
 		return
@@ -352,15 +368,37 @@ func (r *Runtime) FlowCount() int {
 func (r *Runtime) ServeTransport(t ipc.Transport) error {
 	var sendMu sync.Mutex
 	reply := func(m proto.Msg) error {
-		data, err := proto.Marshal(m)
+		f, err := proto.MarshalFrame(m)
 		if err != nil {
 			return err
 		}
 		sendMu.Lock()
-		defer sendMu.Unlock()
-		return t.Send(data)
+		err = t.Send(f.B)
+		sendMu.Unlock()
+		f.Release()
+		return err
+	}
+	if r.inline != nil {
+		// Inline dispatch is synchronous, so frames and decode scratch can be
+		// reclaimed between reads.
+		var dec proto.Decoder
+		for {
+			f, err := ipc.RecvFrame(t)
+			if err != nil {
+				return err
+			}
+			m, err := dec.Unmarshal(f.B)
+			if err != nil {
+				f.Release()
+				continue
+			}
+			r.HandleMessage(m, reply)
+			f.Release()
+		}
 	}
 	for {
+		// Sharded mode: mailboxes retain the message past this iteration, so
+		// take an owned copy off the wire and skip HandleMessage's Clone.
 		data, err := t.Recv()
 		if err != nil {
 			return err
@@ -369,7 +407,7 @@ func (r *Runtime) ServeTransport(t ipc.Transport) error {
 		if err != nil {
 			continue
 		}
-		r.HandleMessage(m, reply)
+		r.handleOwned(m, reply)
 	}
 }
 

@@ -99,11 +99,15 @@ func (c *Conn) Stop() {
 		return
 	}
 	c.running = false
+	// Nil the fields after stopping: the simulator recycles timer slots, so a
+	// handle is dead once stopped and must not be retained (see netsim.Timer).
 	if c.rtoTimer != nil {
 		c.rtoTimer.Stop()
+		c.rtoTimer = nil
 	}
 	if c.paceTimer != nil {
 		c.paceTimer.Stop()
+		c.paceTimer = nil
 	}
 	c.cc.Close(c)
 }
