@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-scale bench-hotpath benchstat test-allocs vet fmt check fuzz-smoke examples experiments clean
+.PHONY: all build test test-short bench bench-scale bench-hotpath benchstat test-allocs test-debugpool vet lint fmt check fuzz-smoke examples experiments clean
 
 all: build test
 
@@ -57,12 +57,30 @@ test-allocs:
 vet:
 	$(GO) vet ./...
 
-# Pre-merge gate: vet, the race-enabled short test suite, the zero-alloc
-# regression pass, and a short fuzz pass over the wire-protocol decoders
-# (the surface exposed to a faulty or corrupting channel). ~2 minutes total.
-check: vet
+# The repo's own invariant checker: four go/analysis-style passes
+# (bufrelease, decoderalias, simdeterminism, lockorder) over the whole tree.
+# `go run ./cmd/ccp-lint -json ./...` emits machine-readable diagnostics for
+# CI annotation; see DESIGN.md §8 for what each pass enforces.
+lint:
+	$(GO) run ./cmd/ccp-lint ./...
+
+# Runtime ownership checking for pooled frames: Release poisons the payload
+# and records owner stacks, so double-Release and write-after-Release panic
+# with the stacks of both parties. Runs the frame-handling packages' tests
+# with the checker compiled in.
+test-debugpool:
+	$(GO) test -tags debugpool ./internal/bufpool ./internal/proto \
+		./internal/ipc ./internal/harness ./internal/bridge \
+		./internal/runtime ./internal/core
+
+# Pre-merge gate: vet, the invariant analyzers, the race-enabled short test
+# suite, the zero-alloc regression pass, the debugpool ownership lane, and a
+# short fuzz pass over the wire-protocol decoders (the surface exposed to a
+# faulty or corrupting channel). ~2 minutes total.
+check: vet lint
 	$(GO) test -race -short ./...
 	$(MAKE) test-allocs
+	$(MAKE) test-debugpool
 	$(MAKE) fuzz-smoke
 
 # 10-second smoke of each proto fuzz target; `go test -fuzz` accepts one

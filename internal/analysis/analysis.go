@@ -1,0 +1,251 @@
+// Package analysis is a small, self-contained reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, diagnostics,
+// `// want`-annotated testdata) used to machine-check the invariants the
+// hot paths of this repo rely on but the compiler cannot see:
+//
+//   - bufrelease: a bufpool.Buf has exactly one owner and one Release
+//     (use-after-Release, double-Release, leaked pooled frames).
+//   - decoderalias: proto.Decoder results are invalid after the next
+//     Unmarshal on the same decoder unless proto.Clone'd.
+//   - simdeterminism: the simulator and native-CC packages must stay
+//     bit-identical (no wall clock, global rand, goroutines, or map-order
+//     dependent event emission).
+//   - lockorder: Lock without a matching Unlock/defer, straight-line
+//     double-Lock, and inconsistent cross-function acquisition order.
+//
+// The upstream x/tools module is deliberately not a dependency: the
+// analyzers only need parsed+type-checked packages, which the standard
+// library provides (go/parser, go/types, and the source importer). See
+// load.go for the loader.
+//
+// Analyzers are conservative by construction — intra-procedural, linear
+// control flow, branch state discarded — so they report only what is
+// certainly (or near-certainly) a violation and stay zero-false-positive
+// on the existing tree. Code that intentionally breaks an invariant (for
+// example the wall-clock RealClock in netsim) carries a
+//
+//	//lint:ownership <reason>
+//
+// comment on the offending line or the line above it, which suppresses
+// every diagnostic for that line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is a one-paragraph description of the invariant it enforces.
+	Doc string
+	// Run applies the analyzer to one package, reporting violations via
+	// pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ownershipDirective is the escape-hatch comment prefix: a line comment
+// beginning with it allowlists its own line and the line below.
+const ownershipDirective = "//lint:ownership"
+
+// suppressedLines returns, per filename, the set of line numbers covered by
+// a //lint:ownership directive in the given files.
+func suppressedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
+	sup := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ownershipDirective) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := sup[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					sup[pos.Filename] = m
+				}
+				m[pos.Line] = true
+				m[pos.Line+1] = true
+			}
+		}
+	}
+	return sup
+}
+
+// Run applies each analyzer to each package and returns the surviving
+// diagnostics sorted by position. Diagnostics on lines carrying (or
+// directly below) a //lint:ownership comment are dropped.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := suppressedLines(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			var out []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &out,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range out {
+				if m := sup[d.File]; m != nil && m[d.Line] {
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// All returns every analyzer in this suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{BufRelease, DecoderAlias, SimDeterminism, LockOrder}
+}
+
+// --- shared type helpers ---
+
+// pkgLastSegment reports whether the package path's final segment equals
+// name ("github.com/x/internal/bufpool" matches "bufpool"). Matching on the
+// tail keeps the analyzers working on testdata packages and forks of the
+// module path alike.
+func pkgLastSegment(path, name string) bool {
+	return path == name || strings.HasSuffix(path, "/"+name)
+}
+
+// namedFrom unwraps pointers and aliases down to a named type, or nil.
+func namedFrom(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// isNamedType reports whether t (through pointers) is the named type
+// pkgName.typeName, where pkgName matches the final import-path segment.
+func isNamedType(t types.Type, pkgName, typeName string) bool {
+	n := namedFrom(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == typeName && pkgLastSegment(n.Obj().Pkg().Path(), pkgName)
+}
+
+// pkgFuncCall reports whether call invokes the package-level function
+// pkgName.funcName (pkgName matched on the import path's final segment),
+// returning the resolved *types.Func when it does.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr, pkgName, funcName string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Type() != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return false
+		}
+	}
+	return fn.Name() == funcName && pkgLastSegment(fn.Pkg().Path(), pkgName)
+}
+
+// calleeFunc resolves the called function object of call, or nil for
+// indirect calls, builtins, and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// rootIdent returns the leftmost identifier of a selector chain (`l` for
+// `l.a.b`), or nil when the chain is rooted in a call or index expression.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BufRelease enforces the bufpool ownership contract: a *bufpool.Buf has
+// exactly one owner, is Released exactly once, and is never touched after
+// Release. The checks are intra-procedural and linear: state changes inside
+// a branch are discarded at the join, so only violations that happen on
+// every execution of the enclosing block are reported (zero false positives
+// by construction, at the cost of missing cross-branch bugs).
+//
+// Reported:
+//   - use of a Buf variable after an unconditional Release on the same path
+//   - a second Release (explicit or via a pending defer) of the same
+//     variable on the same path
+//   - pooled frames (bufpool.Get, proto.MarshalFrame, ipc.RecvFrame) whose
+//     result is discarded on the spot or overwritten before any Release or
+//     handoff: such a frame loses its only owner and leaks from the pool
+var BufRelease = &Analyzer{
+	Name: "bufrelease",
+	Doc:  "check bufpool.Buf single-owner discipline: no use-after-Release, no double Release, no leaked pooled frames",
+	Run:  runBufRelease,
+}
+
+func runBufRelease(pass *Pass) error {
+	forEachFuncBody(pass.Files, func(body *ast.BlockStmt) {
+		b := &bufScan{pass: pass}
+		b.stmts(body.List, bufState{
+			released: make(map[types.Object]token.Pos),
+			deferred: make(map[types.Object]token.Pos),
+			fresh:    make(map[types.Object]token.Pos),
+		})
+		b.checkDiscards(body)
+	})
+	return nil
+}
+
+// forEachFuncBody invokes fn once per function body in files: every
+// FuncDecl body and every FuncLit body, each analyzed independently (a
+// literal's statements are not part of its enclosing function's straight
+// line — it may run later, or never).
+func forEachFuncBody(files []*ast.File, fn func(*ast.BlockStmt)) {
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d.Body)
+				}
+			case *ast.FuncLit:
+				fn(d.Body)
+			}
+			return true
+		})
+	}
+}
+
+type bufState struct {
+	released map[types.Object]token.Pos // unconditionally Released on this path
+	deferred map[types.Object]token.Pos // defer x.Release() registered on this path
+	// fresh tracks frames acquired from a producer call and not yet
+	// consumed (released, handed off, or even read); overwriting such a
+	// variable leaks the frame.
+	fresh map[types.Object]token.Pos
+}
+
+func (s bufState) clone() bufState {
+	c := bufState{
+		released: make(map[types.Object]token.Pos, len(s.released)),
+		deferred: make(map[types.Object]token.Pos, len(s.deferred)),
+		fresh:    make(map[types.Object]token.Pos, len(s.fresh)),
+	}
+	for k, v := range s.released {
+		c.released[k] = v
+	}
+	for k, v := range s.deferred {
+		c.deferred[k] = v
+	}
+	for k, v := range s.fresh {
+		c.fresh[k] = v
+	}
+	return c
+}
+
+type bufScan struct {
+	pass *Pass
+}
+
+func (b *bufScan) stmts(list []ast.Stmt, st bufState) {
+	for _, s := range list {
+		b.stmt(s, st)
+	}
+}
+
+// stmt processes one statement against st. Straight-line statements mutate
+// st; control-flow bodies get a clone whose mutations are discarded.
+func (b *bufScan) stmt(s ast.Stmt, st bufState) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		b.stmts(s.List, st)
+	case *ast.ExprStmt:
+		if obj, pos, ok := b.releaseCall(s.X); ok {
+			b.noteRelease(obj, pos, st, false)
+			return
+		}
+		b.checkUses(s.X, st)
+	case *ast.DeferStmt:
+		if obj, pos, ok := b.releaseCall(s.Call); ok {
+			b.noteRelease(obj, pos, st, true)
+			return
+		}
+		b.checkUses(s.Call, st)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			b.checkUses(r, st)
+		}
+		for _, l := range s.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+				if obj := b.objOf(id); obj != nil {
+					if pos, ok := st.fresh[obj]; ok {
+						b.pass.Reportf(s.Pos(), "%s overwritten before the pooled frame from %s was Released or handed off (frame leak)",
+							obj.Name(), b.pass.Fset.Position(pos))
+					}
+					// Reassignment: the variable now holds a fresh value.
+					delete(st.released, obj)
+					delete(st.deferred, obj)
+					delete(st.fresh, obj)
+				}
+			} else {
+				// Writing through the variable (f.B = ...) reads it first.
+				b.checkUses(l, st)
+			}
+		}
+		if len(s.Rhs) == 1 && len(s.Lhs) >= 1 {
+			if _, ok := b.frameProducer(s.Rhs[0]); ok {
+				if id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident); ok {
+					if obj := b.objOf(id); obj != nil {
+						st.fresh[obj] = s.Pos()
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		b.stmt(s.Init, st)
+		b.checkUses(s.Cond, st)
+		b.stmts(s.Body.List, st.clone())
+		if s.Else != nil {
+			b.stmt(s.Else, st.clone())
+		}
+	case *ast.ForStmt:
+		b.stmt(s.Init, st)
+		if s.Cond != nil {
+			b.checkUses(s.Cond, st)
+		}
+		inner := st.clone()
+		b.stmt(s.Post, inner)
+		b.stmts(s.Body.List, inner)
+	case *ast.RangeStmt:
+		b.checkUses(s.X, st)
+		inner := st.clone()
+		for _, kv := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := kv.(*ast.Ident); ok && id.Name != "_" {
+				if obj := b.objOf(id); obj != nil {
+					delete(inner.released, obj)
+					delete(inner.deferred, obj)
+					delete(inner.fresh, obj)
+				}
+			}
+		}
+		b.stmts(s.Body.List, inner)
+	case *ast.SwitchStmt:
+		b.stmt(s.Init, st)
+		if s.Tag != nil {
+			b.checkUses(s.Tag, st)
+		}
+		for _, c := range s.Body.List {
+			b.stmts(c.(*ast.CaseClause).Body, st.clone())
+		}
+	case *ast.TypeSwitchStmt:
+		b.stmt(s.Init, st)
+		b.stmt(s.Assign, st)
+		for _, c := range s.Body.List {
+			b.stmts(c.(*ast.CaseClause).Body, st.clone())
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			inner := st.clone()
+			b.stmt(cc.Comm, inner)
+			b.stmts(cc.Body, inner)
+		}
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt, st)
+	default:
+		// ReturnStmt, SendStmt, GoStmt, IncDecStmt, DeclStmt, ...: any
+		// mention of a released Buf is a use.
+		b.checkUses(s, st)
+	}
+}
+
+// noteRelease records a Release of obj at pos, reporting a double Release
+// when one is already pending on this path.
+func (b *bufScan) noteRelease(obj types.Object, pos token.Pos, st bufState, isDefer bool) {
+	delete(st.fresh, obj) // releasing consumes the frame
+	if prev, ok := st.released[obj]; ok {
+		b.pass.Reportf(pos, "%s released twice on this path (first Release at %s)",
+			obj.Name(), b.pass.Fset.Position(prev))
+		return
+	}
+	if prev, ok := st.deferred[obj]; ok {
+		b.pass.Reportf(pos, "%s released twice: a deferred Release is already registered at %s",
+			obj.Name(), b.pass.Fset.Position(prev))
+		return
+	}
+	if isDefer {
+		st.deferred[obj] = pos
+	} else {
+		st.released[obj] = pos
+	}
+}
+
+// checkUses reports any mention of a Released Buf variable inside n.
+// Nested function literals are skipped: they execute on their own schedule
+// and are analyzed as their own bodies.
+func (b *bufScan) checkUses(n ast.Node, st bufState) {
+	if n == nil || (len(st.released) == 0 && len(st.fresh) == 0) {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := b.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		delete(st.fresh, obj) // any mention consumes the frame
+		if pos, ok := st.released[obj]; ok {
+			b.pass.Reportf(id.Pos(), "use of %s after Release (released at %s)",
+				obj.Name(), b.pass.Fset.Position(pos))
+			delete(st.released, obj) // one report per release site
+		}
+		return true
+	})
+}
+
+// releaseCall matches `x.Release()` where x is a plain identifier of type
+// *bufpool.Buf, returning the variable's object and the call position.
+func (b *bufScan) releaseCall(e ast.Expr) (types.Object, token.Pos, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, token.NoPos, false
+	}
+	fn := calleeFunc(b.pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Release" {
+		return nil, token.NoPos, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isNamedType(sig.Recv().Type(), "bufpool", "Buf") {
+		return nil, token.NoPos, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, token.NoPos, false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil, token.NoPos, false
+	}
+	obj := b.objOf(id)
+	if obj == nil {
+		return nil, token.NoPos, false
+	}
+	return obj, call.Pos(), true
+}
+
+// objOf resolves id to the *bufpool.Buf variable it names, or nil.
+func (b *bufScan) objOf(id *ast.Ident) types.Object {
+	obj := b.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = b.pass.TypesInfo.Defs[id]
+	}
+	if obj == nil || obj.Type() == nil || !isNamedType(obj.Type(), "bufpool", "Buf") {
+		return nil
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil
+	}
+	return obj
+}
+
+// frameProducers are the functions whose first result is a frame the caller
+// must own: discarding or overwriting it before a Release or handoff leaks
+// the frame from the pool.
+var frameProducers = map[string]bool{"Get": true, "MarshalFrame": true, "RecvFrame": true}
+
+// checkDiscards flags frame-producing calls whose result is thrown away on
+// the spot: a bare expression statement or an assignment to the blank
+// identifier. Such a frame has no owner and can never be Released. (The
+// overwrite-while-fresh case is handled path-sensitively in stmt/assign.)
+func (b *bufScan) checkDiscards(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own body
+		case *ast.ExprStmt:
+			if name, ok := b.frameProducer(n.X); ok {
+				b.pass.Reportf(n.Pos(), "result of %s discarded: the pooled frame has no owner and can never be Released", name)
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			name, ok := b.frameProducer(n.Rhs[0])
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(n.Lhs[0]).(*ast.Ident); ok && id.Name == "_" {
+				b.pass.Reportf(n.Pos(), "result of %s discarded: the pooled frame has no owner and can never be Released", name)
+			}
+		}
+		return true
+	})
+}
+
+// frameProducer matches a call to bufpool.Get, proto.MarshalFrame, or any
+// RecvFrame whose first result is a *bufpool.Buf.
+func (b *bufScan) frameProducer(e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn := calleeFunc(b.pass.TypesInfo, call)
+	if fn == nil || !frameProducers[fn.Name()] {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	if !isNamedType(sig.Results().At(0).Type(), "bufpool", "Buf") {
+		return "", false
+	}
+	return fn.Name(), true
+}

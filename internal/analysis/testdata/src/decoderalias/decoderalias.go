@@ -1,0 +1,138 @@
+// Package decoderalias is the analysistest corpus for the decoderalias
+// analyzer: retaining decoder-owned values across the next Unmarshal
+// without proto.Clone.
+package decoderalias
+
+import (
+	"github.com/ccp-repro/ccp/internal/proto"
+)
+
+func consume(proto.Msg)  {}
+func frames() [][]byte   { return nil }
+func fields(f []float64) {}
+
+// --- positive cases ---
+
+// Straight-line: m1 aliases scratch recycled by the second Unmarshal.
+func staleAfterSecondDecode(dec *proto.Decoder, b1, b2 []byte) {
+	m1, _ := dec.Unmarshal(b1)
+	m2, _ := dec.Unmarshal(b2)
+	consume(m1) // want `m1 aliases decoder scratch invalidated by the Unmarshal`
+	consume(m2)
+}
+
+// A derived view (type assertion) goes stale with its parent.
+func staleDerivedView(dec *proto.Decoder, b1, b2 []byte) {
+	m, _ := dec.Unmarshal(b1)
+	rep, ok := m.(*proto.Measurement)
+	_, _ = dec.Unmarshal(b2)
+	if ok {
+		fields(rep.Fields) // want `rep aliases decoder scratch invalidated by the Unmarshal`
+	}
+}
+
+// Appending each iteration's message to an outer slice retains scratch
+// that the next iteration's Unmarshal recycles.
+func retainAcrossIterations(dec *proto.Decoder) []proto.Msg {
+	var out []proto.Msg
+	for _, raw := range frames() {
+		m, err := dec.Unmarshal(raw)
+		if err != nil {
+			continue
+		}
+		out = append(out, m) // want `decoder-owned value stored outside the loop`
+	}
+	return out
+}
+
+// Same bug through a channel: the receiver sees recycled scratch.
+func retainViaChannel(dec *proto.Decoder, ch chan proto.Msg) {
+	for _, raw := range frames() {
+		m, err := dec.Unmarshal(raw)
+		if err != nil {
+			continue
+		}
+		ch <- m // want `decoder-owned value sent on a channel`
+	}
+}
+
+// Storing the latest message in an outer variable outlives the iteration.
+func retainInOuterVar(dec *proto.Decoder) proto.Msg {
+	var last proto.Msg
+	for _, raw := range frames() {
+		m, err := dec.Unmarshal(raw)
+		if err != nil {
+			continue
+		}
+		last = m // want `decoder-owned value stored outside the loop`
+	}
+	return last
+}
+
+// --- negative cases ---
+
+// Borrow-for-the-call (bridge/agent/runtime Handler contract).
+func borrowPerIteration(dec *proto.Decoder) {
+	for _, raw := range frames() {
+		m, err := dec.Unmarshal(raw)
+		if err != nil {
+			continue
+		}
+		consume(m)
+	}
+}
+
+// Clone severs the alias: retention is fine afterwards.
+func cloneThenRetain(dec *proto.Decoder) []proto.Msg {
+	var out []proto.Msg
+	for _, raw := range frames() {
+		m, err := dec.Unmarshal(raw)
+		if err != nil {
+			continue
+		}
+		out = append(out, proto.Clone(m))
+	}
+	return out
+}
+
+// Cloning before the second decode keeps the first message valid.
+func cloneBeforeSecondDecode(dec *proto.Decoder, b1, b2 []byte) {
+	m1, _ := dec.Unmarshal(b1)
+	keep := proto.Clone(m1)
+	m2, _ := dec.Unmarshal(b2)
+	consume(keep)
+	consume(m2)
+}
+
+// Distinct decoders do not invalidate each other.
+func twoDecoders(d1, d2 *proto.Decoder, b1, b2 []byte) {
+	m1, _ := d1.Unmarshal(b1)
+	m2, _ := d2.Unmarshal(b2)
+	consume(m1)
+	consume(m2)
+}
+
+// Split views of a single decode, consumed before the next decode
+// (SocketLink.pumpFrame shape).
+func splitAndDeliver(dec *proto.Decoder, raw []byte) {
+	m, err := dec.Unmarshal(raw)
+	if err != nil {
+		return
+	}
+	for _, sub := range proto.Split(m) {
+		consume(sub)
+	}
+}
+
+// Scalars copied out of a message carry no aliases and may be retained.
+func scalarExtraction(dec *proto.Decoder) []uint32 {
+	var sids []uint32
+	for _, raw := range frames() {
+		m, err := dec.Unmarshal(raw)
+		if err != nil {
+			continue
+		}
+		sids = append(sids, m.FlowSID())
+	}
+	return sids
+}

@@ -1,0 +1,27 @@
+// Package notsim is the scope control for the simdeterminism analyzer:
+// the same constructs that are violations inside netsim/tcp/nativecc/
+// experiments are legal here, so this package must stay diagnostic-free.
+package notsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClockIsFineHere() time.Time {
+	return time.Now()
+}
+
+func globalRandIsFineHere() int {
+	return rand.Intn(10)
+}
+
+func goroutinesAreFineHere(done chan struct{}) {
+	go func() { close(done) }()
+}
+
+func mapOrderIsFineHere(m map[int]int, ch chan int) {
+	for _, v := range m {
+		ch <- v
+	}
+}

@@ -14,6 +14,12 @@
 //     B after Release, corrupts whatever the pool hands the buffer to next.
 //   - Wrap builds a non-pooled Buf around an existing slice; its Release is
 //     a no-op, so code paths can treat pooled and unpooled frames uniformly.
+//
+// These rules are enforced two ways: statically by the bufrelease analyzer
+// in internal/analysis (run via cmd/ccp-lint), and dynamically by the
+// `debugpool` build tag, which makes Release poison the payload and record
+// owner stacks so double-Release and write-after-Release panic at the point
+// of reuse instead of corrupting a later frame.
 package bufpool
 
 import "sync"
@@ -22,6 +28,7 @@ import "sync"
 // Release.
 type Buf struct {
 	B      []byte
+	dbg    debugState // zero-size unless built with -tags debugpool
 	pooled bool
 }
 
@@ -29,27 +36,7 @@ var pool = sync.Pool{New: func() any {
 	return &Buf{B: make([]byte, 0, 512), pooled: true}
 }}
 
-// Get returns a buffer with len(B) == 0 and cap(B) >= capHint. The caller
-// owns it until Release.
-func Get(capHint int) *Buf {
-	b := pool.Get().(*Buf)
-	if cap(b.B) < capHint {
-		b.B = make([]byte, 0, capHint)
-	}
-	b.B = b.B[:0]
-	return b
-}
-
 // Wrap returns a non-pooled Buf aliasing data, so APIs that hand out pooled
 // frames can also hand out caller-owned slices. Release on the result is a
 // no-op.
 func Wrap(data []byte) *Buf { return &Buf{B: data} }
-
-// Release returns the buffer to the pool. It is a no-op on nil or wrapped
-// buffers. The caller must not use b (or b.B) afterwards.
-func (b *Buf) Release() {
-	if b == nil || !b.pooled {
-		return
-	}
-	pool.Put(b)
-}

@@ -1,0 +1,89 @@
+//go:build debugpool
+
+package bufpool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// DebugEnabled reports whether the runtime ownership checker (the
+// `debugpool` build tag) is compiled in.
+const DebugEnabled = true
+
+// poison is written over the whole capacity of a released buffer. Any write
+// to a frame after Release breaks the pattern, and the next Get of that
+// buffer panics with the stacks of the owner that released it — turning
+// silent cross-frame corruption into an immediate, attributed failure.
+const poison = 0xDB
+
+// debugState carries per-buffer ownership bookkeeping under -tags debugpool.
+type debugState struct {
+	mu       sync.Mutex
+	live     bool // owned by a caller (between Get and Release)
+	poisoned bool // released through the debug path at least once
+	getStack []byte
+	relStack []byte
+}
+
+func stack() []byte {
+	buf := make([]byte, 8<<10)
+	return buf[:runtime.Stack(buf, false)]
+}
+
+// Get returns a buffer with len(B) == 0 and cap(B) >= capHint. The caller
+// owns it until Release. Under debugpool, Get verifies that the poison
+// pattern written by the previous Release is intact; a torn pattern means
+// some component kept writing through a frame it had already released.
+func Get(capHint int) *Buf {
+	b := pool.Get().(*Buf)
+	b.dbg.mu.Lock()
+	if b.dbg.poisoned {
+		full := b.B[:cap(b.B)]
+		for i, c := range full {
+			if c != poison {
+				panic(fmt.Sprintf(
+					"bufpool: buffer written after Release (byte %d of %d is %#x, want %#x)\n\n"+
+						"previous owner's Get:\n%s\nprevious owner's Release:\n%s",
+					i, len(full), c, poison, b.dbg.getStack, b.dbg.relStack))
+			}
+		}
+	}
+	b.dbg.live = true
+	b.dbg.getStack = stack()
+	b.dbg.relStack = nil
+	b.dbg.mu.Unlock()
+	if cap(b.B) < capHint {
+		b.B = make([]byte, 0, capHint)
+	}
+	b.B = b.B[:0]
+	return b
+}
+
+// Release returns the buffer to the pool. It is a no-op on nil or wrapped
+// buffers. Under debugpool a second Release of the same buffer panics with
+// both Release stacks, and the payload is poisoned so later writes through a
+// stale alias are caught by the next Get.
+func (b *Buf) Release() {
+	if b == nil || !b.pooled {
+		return
+	}
+	b.dbg.mu.Lock()
+	if !b.dbg.live {
+		rel := b.dbg.relStack
+		b.dbg.mu.Unlock()
+		panic(fmt.Sprintf(
+			"bufpool: double Release\n\nfirst Release:\n%s\nsecond Release:\n%s",
+			rel, stack()))
+	}
+	b.dbg.live = false
+	b.dbg.poisoned = true
+	b.dbg.relStack = stack()
+	full := b.B[:cap(b.B)]
+	for i := range full {
+		full[i] = poison
+	}
+	b.dbg.mu.Unlock()
+	pool.Put(b)
+}

@@ -1,0 +1,31 @@
+//go:build !debugpool
+
+package bufpool
+
+// DebugEnabled reports whether the runtime ownership checker (the
+// `debugpool` build tag) is compiled in.
+const DebugEnabled = false
+
+// debugState carries per-buffer ownership bookkeeping under -tags debugpool.
+// In release builds it is empty and costs nothing.
+type debugState struct{}
+
+// Get returns a buffer with len(B) == 0 and cap(B) >= capHint. The caller
+// owns it until Release.
+func Get(capHint int) *Buf {
+	b := pool.Get().(*Buf)
+	if cap(b.B) < capHint {
+		b.B = make([]byte, 0, capHint)
+	}
+	b.B = b.B[:0]
+	return b
+}
+
+// Release returns the buffer to the pool. It is a no-op on nil or wrapped
+// buffers. The caller must not use b (or b.B) afterwards.
+func (b *Buf) Release() {
+	if b == nil || !b.pooled {
+		return
+	}
+	pool.Put(b)
+}

@@ -87,7 +87,7 @@ func fig2Measure(cfg Fig2Config, transport string, busy bool) (*stats.Samples, e
 		stop := ipc.BusyLoad(cfg.BusyWorkers)
 		defer stop()
 		// Give the load a moment to spread across cores.
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(20 * time.Millisecond) //lint:ownership benchmark warmup: lets BusyLoad spread across cores before measuring
 	}
 	return ipc.MeasureRTT(client, cfg.Samples, cfg.Warmup, cfg.PayloadBytes)
 }
@@ -97,7 +97,7 @@ func fig2Transport(transport string) (ipc.Transport, func(), error) {
 	switch transport {
 	case "chan":
 		a, b := ipc.ChanPair(1)
-		go ipc.Echo(b)
+		go ipc.Echo(b) //lint:ownership echo server for the real-IPC latency benchmark
 		return a, func() { a.Close(); b.Close() }, nil
 	case "unix-stream":
 		dir, err := os.MkdirTemp("", "ccp-fig2-*")
@@ -110,7 +110,7 @@ func fig2Transport(transport string) (ipc.Transport, func(), error) {
 			os.RemoveAll(dir)
 			return nil, nil, err
 		}
-		go func() {
+		go func() { //lint:ownership accept loop for the unix-stream echo benchmark
 			conn, err := ln.Accept()
 			if err != nil {
 				return
@@ -134,7 +134,7 @@ func fig2Transport(transport string) (ipc.Transport, func(), error) {
 			os.RemoveAll(dir)
 			return nil, nil, err
 		}
-		go ipc.Echo(b)
+		go ipc.Echo(b) //lint:ownership echo server for the unixgram latency benchmark
 		return a, func() { a.Close(); b.Close(); os.RemoveAll(dir) }, nil
 	default:
 		return nil, nil, fmt.Errorf("unknown transport %q", transport)

@@ -14,15 +14,15 @@ type RealClock struct {
 
 // NewRealClock returns a wall-clock Clock with its epoch set to now.
 func NewRealClock() *RealClock {
-	return &RealClock{epoch: time.Now()}
+	return &RealClock{epoch: time.Now()} //lint:ownership RealClock is the explicit wall-clock adapter for runs outside the simulator
 }
 
 // Now implements Clock.
-func (c *RealClock) Now() time.Duration { return time.Since(c.epoch) }
+func (c *RealClock) Now() time.Duration { return time.Since(c.epoch) } //lint:ownership wall-clock time is this type's contract
 
 // AfterFunc implements Clock using time.AfterFunc.
 func (c *RealClock) AfterFunc(d time.Duration, fn func()) Timer {
-	return &realTimer{t: time.AfterFunc(d, fn)}
+	return &realTimer{t: time.AfterFunc(d, fn)} //lint:ownership wall-clock timers are this type's contract
 }
 
 type realTimer struct {

@@ -1,0 +1,127 @@
+package proto
+
+import (
+	"reflect"
+	"testing"
+)
+
+// These tests pin down the Clone contract the decoderalias analyzer assumes:
+// a cloned message shares no memory with decoder scratch or the input
+// buffer, so it stays valid across the next Unmarshal (and across mutation
+// of the frame it was decoded from), while the un-cloned view does not.
+
+func mustMarshal(t *testing.T, m Msg) []byte {
+	t.Helper()
+	b, err := Marshal(m)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", m, err)
+	}
+	return b
+}
+
+func decodeWith(t *testing.T, dec *Decoder, b []byte) Msg {
+	t.Helper()
+	m, err := dec.Unmarshal(b)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return m
+}
+
+// Clone of a batch-of-reports decoded into scratch must survive the next
+// Unmarshal on the same decoder; the raw view is recycled out from under us.
+func TestCloneBatchSurvivesNextUnmarshal(t *testing.T) {
+	frame1 := mustMarshal(t, &Batch{Msgs: []Msg{
+		&Measurement{SID: 1, Seq: 10, Fields: []float64{1.5, 2.5, 3.5}},
+		&Measurement{SID: 2, Seq: 20, Fields: []float64{4.5, 5.5}},
+		&SetCwnd{SID: 3, Seq: 30, Bytes: 14480},
+	}})
+	frame2 := mustMarshal(t, &Batch{Msgs: []Msg{
+		&Measurement{SID: 9, Seq: 90, Fields: []float64{-1, -2, -3}},
+		&Measurement{SID: 8, Seq: 80, Fields: []float64{-4, -5}},
+		&SetCwnd{SID: 7, Seq: 70, Bytes: 1},
+	}})
+
+	var dec Decoder
+	// Warm the decoder so its scratch slices reach steady-state capacity;
+	// views taken while the slabs are still growing can be orphaned by the
+	// growth reallocation rather than recycled in place.
+	decodeWith(t, &dec, frame1)
+	raw := decodeWith(t, &dec, frame1).(*Batch)
+	rawFirst := raw.Msgs[0].(*Measurement)
+	clone := Clone(raw).(*Batch)
+
+	// The clone must not share backing storage with the scratch view.
+	cloneFirst := clone.Msgs[0].(*Measurement)
+	if &cloneFirst.Fields[0] == &rawFirst.Fields[0] {
+		t.Fatal("clone aliases decoder scratch Fields")
+	}
+
+	// Recycle the scratch: frame2 has the same shape, so the raw view's
+	// backing arrays are overwritten in place.
+	decodeWith(t, &dec, frame2)
+
+	want := &Batch{Msgs: []Msg{
+		&Measurement{SID: 1, Seq: 10, Fields: []float64{1.5, 2.5, 3.5}},
+		&Measurement{SID: 2, Seq: 20, Fields: []float64{4.5, 5.5}},
+		&SetCwnd{SID: 3, Seq: 30, Bytes: 14480},
+	}}
+	if !reflect.DeepEqual(clone, want) {
+		t.Fatalf("clone corrupted by subsequent Unmarshal:\n got %+v\nwant %+v", clone, want)
+	}
+
+	// And the hazard is real: the un-cloned view now shows frame2's data.
+	if rawFirst.SID == 1 && rawFirst.Seq == 10 {
+		t.Fatal("scratch was not recycled; test proves nothing")
+	}
+}
+
+// Install decodes with a zero-copy Prog that aliases the input buffer.
+// Clone must copy it; the raw view must follow buffer mutation.
+func TestCloneInstallSurvivesBufferMutation(t *testing.T) {
+	prog := []byte{0xAA, 0xBB, 0xCC, 0xDD}
+	frame := mustMarshal(t, &Install{SID: 5, Seq: 2, Prog: prog})
+
+	var dec Decoder
+	raw := decodeWith(t, &dec, frame).(*Install)
+	clone := Clone(raw).(*Install)
+
+	// Overwrite the wire bytes in place, as a transport reusing its read
+	// buffer (or a bufpool.Release under -tags debugpool) would.
+	for i := range frame {
+		frame[i] = 0xEE
+	}
+
+	if want := []byte{0xAA, 0xBB, 0xCC, 0xDD}; !reflect.DeepEqual(clone.Prog, want) {
+		t.Fatalf("cloned Prog corrupted by buffer mutation: %x, want %x", clone.Prog, want)
+	}
+	if reflect.DeepEqual(raw.Prog, prog) {
+		t.Fatal("raw Install.Prog does not alias the input buffer; zero-copy contract changed")
+	}
+}
+
+// Clone of a deep/aliased message graph must be fully disjoint: mutating any
+// slice reachable from the original must not show through the clone.
+func TestCloneDeepDisjoint(t *testing.T) {
+	orig := &Batch{Msgs: []Msg{
+		&Measurement{SID: 1, Seq: 1, Fields: []float64{10, 20}},
+		&Install{SID: 2, Seq: 3, Prog: []byte{1, 2, 3}},
+		&Vector{SID: 3, Seq: 4, NumFields: 2, Data: []float64{1, 2, 3, 4}},
+	}}
+	clone := Clone(orig).(*Batch)
+
+	orig.Msgs[0].(*Measurement).Fields[0] = -99
+	orig.Msgs[1].(*Install).Prog[0] = 0xFF
+	orig.Msgs[2].(*Vector).Data[3] = -1
+	orig.Msgs[0] = &Close{SID: 42} // the Msgs slice itself must be copied too
+
+	if got := clone.Msgs[0].(*Measurement).Fields[0]; got != 10 {
+		t.Fatalf("clone.Fields shares storage with original (got %v)", got)
+	}
+	if got := clone.Msgs[1].(*Install).Prog[0]; got != 1 {
+		t.Fatalf("clone.Prog shares storage with original (got %v)", got)
+	}
+	if got := clone.Msgs[2].(*Vector).Data[3]; got != 4 {
+		t.Fatalf("clone.Data shares storage with original (got %v)", got)
+	}
+}
