@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-scale bench-hotpath benchstat test-allocs test-debugpool vet lint fmt check fuzz-smoke examples experiments clean
+.PHONY: all build test test-short bench bench-scale bench-hotpath benchstat test-allocs test-debugpool test-race-robust vet lint fmt check fuzz-smoke examples experiments clean
 
 all: build test
 
@@ -53,6 +53,15 @@ benchstat:
 test-allocs:
 	$(GO) test -run 'TestAllocs' -count=1 \
 		./internal/proto ./internal/netsim ./internal/lang
+
+# Robustness lane: the concurrent packages (sharded runtime, socket link,
+# transports, fault injectors, datapath fail-safe) twice under the race
+# detector. -count=2 defeats test caching and shakes out order-dependent
+# state; CI runs this as its own job.
+test-race-robust:
+	$(GO) test -race -count=2 ./internal/runtime/ ./internal/harness/ \
+		./internal/ipc/ ./internal/bridge/ ./internal/faults/ \
+		./internal/datapath/
 
 vet:
 	$(GO) vet ./...

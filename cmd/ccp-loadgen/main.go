@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -77,6 +78,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "ccp-loadgen: %v\n", err)
 		return 1
 	}
+	res.GitSHA = gitSHA()
 	fmt.Print(res.String())
 	if *jsonOut != "" {
 		if err := res.WriteJSON(*jsonOut); err != nil {
@@ -101,6 +103,16 @@ func run() int {
 		fmt.Printf("wrote %s\n", *memProfile)
 	}
 	return 0
+}
+
+// gitSHA stamps the benchmark output with the commit it ran at; empty when
+// git or the repository is unavailable (the field is omitempty).
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func parseFlows(s string) ([]int, error) {

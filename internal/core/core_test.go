@@ -401,6 +401,41 @@ func TestNextSeqSkipsZeroOnWrap(t *testing.T) {
 	}
 }
 
+func TestStaleSeqWraparound(t *testing.T) {
+	last := ^uint32(0)
+	if staleSeq(1, &last) {
+		t.Fatal("wrapped seq 1 treated as stale after 2^32-1")
+	}
+	if last != 1 {
+		t.Fatalf("last=%d after wrap, want 1", last)
+	}
+	if !staleSeq(^uint32(0), &last) {
+		t.Fatal("replayed pre-wrap seq accepted after the wrap")
+	}
+	if staleSeq(0, &last) || last != 1 {
+		t.Fatal("seq 0 must stay unsequenced and always fresh")
+	}
+}
+
+func TestAgentReportsSurviveSeqWraparound(t *testing.T) {
+	alg := &recordAlg{}
+	a := newTestAgent(t, alg, nil)
+	cap := &capture{}
+	a.HandleMessage(createMsg(1), cap.send)
+	a.flows[1].lastReportSeq = ^uint32(0) - 1
+	a.HandleMessage(&proto.Measurement{SID: 1, Seq: ^uint32(0), Fields: []float64{1}}, cap.send)
+	// The datapath skips 0 on wrap, so the next report arrives as seq 1; it
+	// must be accepted or the flow's telemetry blackholes at the rollover.
+	a.HandleMessage(&proto.Measurement{SID: 1, Seq: 1, Fields: []float64{2}}, cap.send)
+	a.HandleMessage(&proto.Measurement{SID: 1, Seq: 2, Fields: []float64{3}}, cap.send)
+	if len(alg.measures) != 3 {
+		t.Fatalf("alg saw %d reports across the wrap, want 3", len(alg.measures))
+	}
+	if st := a.Stats(); st.StaleReports != 0 {
+		t.Fatalf("stats=%+v, want no stale drops", st)
+	}
+}
+
 func TestAgentDedupsUrgents(t *testing.T) {
 	alg := &recordAlg{}
 	a := newTestAgent(t, alg, nil)

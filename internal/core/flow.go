@@ -117,6 +117,19 @@ func (f *Flow) SetRate(bps float64) error {
 	return f.send(&proto.SetRate{SID: f.Info.SID, Seq: f.nextSeq(), Bps: bps})
 }
 
+// Backoff asks the flow's datapath to stretch its report interval by
+// factor — the overload-degradation signal an algorithm (or the sharded
+// runtime, which sends it directly when it sheds a report) uses to coarsen
+// measurement frequency instead of dropping decisions. Advisory: it carries
+// no control sequence number and does not count as control liveness at the
+// datapath. Factors below 1 are rejected by the wire codec, so clamp here.
+func (f *Flow) Backoff(factor float64) error {
+	if factor < 1 {
+		factor = 1
+	}
+	return f.send(&proto.Backoff{SID: f.Info.SID, Factor: factor})
+}
+
 // Installed returns the most recently installed (policy-rewritten) program,
 // or nil before the first Install.
 func (f *Flow) Installed() *lang.Program { return f.installed }

@@ -47,8 +47,14 @@ type Config struct {
 	// free.
 	ToAgent func(proto.Msg) error
 	// FallbackAfter reverts to in-datapath NewReno when no agent message
-	// has arrived for this long (0 disables the watchdog).
+	// has arrived for this long (0 disables the watchdog). When
+	// Liveness.StalenessBudget is set the liveness layer supersedes this
+	// watchdog and FallbackAfter is ignored.
 	FallbackAfter time.Duration
+	// Liveness configures the fail-safe layer (see failsafe.go): per-kind
+	// control staleness clocks, explicit agent-gone handling, conservative
+	// fallback entry, and smoothed re-handoff. Zero value disables it.
+	Liveness LivenessConfig
 	// MaxVectorRows caps vector-mode batching memory (default 8192 rows);
 	// beyond it, samples are dropped and counted.
 	MaxVectorRows int
@@ -107,6 +113,15 @@ type Stats struct {
 	// under neither).
 	BatchesSent    int
 	BatchedReports int
+	// LivenessStale counts fallback entries triggered by the staleness
+	// budget (vs. AgentGoneSignals, explicit transport notifications that
+	// the agent connection is lost). HandoffRamps counts smoothed
+	// fallback-exit transitions; BackoffsRecvd counts overload backoff
+	// messages accepted from the agent runtime.
+	LivenessStale    int
+	AgentGoneSignals int
+	HandoffRamps     int
+	BackoffsRecvd    int
 }
 
 // CCP is the datapath runtime for one flow. It implements
@@ -147,11 +162,23 @@ type CCP struct {
 	ecnAcc   int
 	lastRtt  float64
 
-	// Safety fallback (§5).
+	// Safety fallback (§5) and the liveness layer over it (failsafe.go).
 	fallback       tcp.CongestionControl
 	fallbackActive bool
 	lastAgentMsg   time.Duration
 	watchdog       netsim.Timer
+	// Per-kind control staleness clocks (virtual time of last applied
+	// Install / SetCwnd / SetRate; see failsafe.go).
+	lastInstallAt time.Duration
+	lastCwndAt    time.Duration
+	lastRateAt    time.Duration
+	agentGone     bool
+	liveTimer     netsim.Timer
+	// handoffUntil, when nonzero, smooths window increases until the
+	// post-fallback handoff ramp expires. backoffFactor stretches program
+	// waits under agent overload (1 or less: none).
+	handoffUntil  time.Duration
+	backoffFactor float64
 
 	// Smooth window transitions (§3 future work).
 	cwndTarget  int
@@ -174,10 +201,14 @@ type CCP struct {
 	scratchBatch  proto.Batch
 
 	// Cached metrics instruments (detached no-ops when cfg.Metrics is nil).
-	mReportsSent *metrics.Counter
-	mUrgentsSent *metrics.Counter
-	mBatchSize   *metrics.Histogram
-	mFallbackOn  *metrics.Counter
+	mReportsSent   *metrics.Counter
+	mUrgentsSent   *metrics.Counter
+	mBatchSize     *metrics.Histogram
+	mFallbackOn    *metrics.Counter
+	mFallbackOff   *metrics.Counter
+	mAgentGone     *metrics.Counter
+	mLivenessStale *metrics.Counter
+	mBackoffRecvd  *metrics.Counter
 
 	stats Stats
 }
@@ -201,15 +232,19 @@ func New(cfg Config) *CCP {
 		cfg.MaxBatchMsgs = proto.MaxBatchMsgs
 	}
 	return &CCP{
-		cfg:          cfg,
-		fallback:     nativecc.NewNewReno(),
-		ewmaRtt:      stats.NewEWMA(0.125),
-		ewmaSnd:      stats.NewEWMA(0.25),
-		ewmaRcv:      stats.NewEWMA(0.25),
-		mReportsSent: cfg.Metrics.Counter("dp_reports_sent_total"),
-		mUrgentsSent: cfg.Metrics.Counter("dp_urgents_sent_total"),
-		mBatchSize:   cfg.Metrics.Histogram("dp_batch_size"),
-		mFallbackOn:  cfg.Metrics.Counter("dp_fallback_on_total"),
+		cfg:            cfg,
+		fallback:       nativecc.NewNewReno(),
+		ewmaRtt:        stats.NewEWMA(0.125),
+		ewmaSnd:        stats.NewEWMA(0.25),
+		ewmaRcv:        stats.NewEWMA(0.25),
+		mReportsSent:   cfg.Metrics.Counter("dp_reports_sent_total"),
+		mUrgentsSent:   cfg.Metrics.Counter("dp_urgents_sent_total"),
+		mBatchSize:     cfg.Metrics.Histogram("dp_batch_size"),
+		mFallbackOn:    cfg.Metrics.Counter("dp_fallback_on_total"),
+		mFallbackOff:   cfg.Metrics.Counter("dp_fallback_off_total"),
+		mAgentGone:     cfg.Metrics.Counter("dp_agent_gone_total"),
+		mLivenessStale: cfg.Metrics.Counter("dp_liveness_stale_total"),
+		mBackoffRecvd:  cfg.Metrics.Counter("dp_backoff_recvd_total"),
 	}
 }
 
@@ -253,7 +288,11 @@ func (d *CCP) Init(c *tcp.Conn) {
 		// The default program is statically valid; a failure here is a bug.
 		panic("datapath: default program rejected: " + err.Error())
 	}
-	d.armWatchdog()
+	if d.cfg.Liveness.on() {
+		d.armLiveness()
+	} else {
+		d.armWatchdog()
+	}
 }
 
 // Close implements tcp.CongestionControl.
@@ -267,6 +306,10 @@ func (d *CCP) Close(c *tcp.Conn) {
 	if d.watchdog != nil {
 		d.watchdog.Stop()
 		d.watchdog = nil
+	}
+	if d.liveTimer != nil {
+		d.liveTimer.Stop()
+		d.liveTimer = nil
 	}
 	if d.smoothTimer != nil {
 		d.smoothTimer.Stop()
@@ -349,7 +392,7 @@ func (d *CCP) Deliver(m proto.Msg) {
 		if d.staleCtrl(v.Seq) {
 			return
 		}
-		d.touchAgent()
+		d.touchCtrl(proto.TypeInstall)
 		prog, err := lang.UnmarshalProgram(v.Prog)
 		if err != nil {
 			// A malformed program must not crash the datapath (§5); the
@@ -364,18 +407,22 @@ func (d *CCP) Deliver(m proto.Msg) {
 		if d.staleCtrl(v.Seq) {
 			return
 		}
-		d.touchAgent()
+		d.touchCtrl(proto.TypeSetCwnd)
 		d.stats.SetCwndRecvd++
 		d.applyCwnd(int(v.Bytes))
 	case *proto.SetRate:
 		if d.staleCtrl(v.Seq) {
 			return
 		}
-		d.touchAgent()
+		d.touchCtrl(proto.TypeSetRate)
 		d.stats.SetRateRecvd++
 		if d.conn != nil {
 			d.conn.SetPacingRate(v.Bps)
 		}
+	case *proto.Backoff:
+		// Overload degradation signal, not a control decision: it never
+		// resets the liveness clocks.
+		d.handleBackoff(v)
 	default:
 		// Anything else on the control channel is noise (corruption that
 		// happened to decode, or a confused agent); ignore it and do not
@@ -579,6 +626,7 @@ func (d *CCP) resume() {
 }
 
 func (d *CCP) scheduleWait(dur time.Duration) {
+	dur = d.stretchWait(dur)
 	if dur <= 0 {
 		dur = time.Microsecond
 	}
@@ -610,6 +658,9 @@ func (d *CCP) rttDur(rtts float64) time.Duration {
 // send/flushBatch its slab entry — Fields backing included — is reusable.
 func (d *CCP) report() {
 	d.reportSeq++
+	if d.reportSeq == 0 {
+		d.reportSeq = 1 // skip 0 on wrap: 0 means "unsequenced" on the wire
+	}
 	switch d.measureMode() {
 	case lang.MeasureFold:
 		v := d.nextRepMeas()
@@ -688,6 +739,9 @@ func (d *CCP) sendUrgent(kind proto.UrgentKind, value float64) {
 	d.stats.UrgentsSent++
 	d.mUrgentsSent.Inc()
 	d.urgentSeq++
+	if d.urgentSeq == 0 {
+		d.urgentSeq = 1 // skip 0 on wrap, as for reportSeq
+	}
 	// Urgent events must not queue behind a batch window (§2.1), but flushing
 	// first keeps the per-flow order the agent observes identical to the
 	// unbatched schedule's.
@@ -762,7 +816,7 @@ func (d *CCP) applyCwnd(target int) {
 	if d.conn == nil {
 		return
 	}
-	if !d.cfg.SmoothCwnd || target <= d.conn.Cwnd() {
+	if !d.smoothingActive() || target <= d.conn.Cwnd() {
 		d.cwndTarget = 0
 		d.conn.SetCwnd(target)
 		return
@@ -805,13 +859,12 @@ func (d *CCP) smoothStep() {
 
 func (d *CCP) touchAgent() {
 	d.lastAgentMsg = d.cfg.Clock.Now()
-	if d.fallbackActive {
-		d.fallbackActive = false
-		d.stats.FallbackOff++
-		// Resume the installed program from the top.
-		d.pc = 0
-		d.waitedPass = false
-		d.resume()
+	if d.fallbackActive && !d.agentGone {
+		// Resume the installed program from the top (with a handoff ramp
+		// under the liveness layer; see failsafe.go). While the transport
+		// still reports the agent gone, a straggling queued decision does
+		// not exit fallback.
+		d.exitFallback()
 	}
 }
 

@@ -1,0 +1,270 @@
+package datapath
+
+import (
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/proto"
+	"github.com/ccp-repro/ccp/internal/tcp"
+)
+
+// This file is the fail-safe layer: liveness tracking over the agent's
+// control decisions, entry into the in-datapath fallback when the control
+// plane goes stale or the link reports the agent gone, and the seamless
+// re-handoff back to CCP control when the agent recovers.
+//
+// It subsumes the minimal §5 watchdog (Config.FallbackAfter): that watchdog
+// only measures "any agent message recently?" and re-enters the installed
+// program with no window adjustment in either direction. The liveness layer
+// instead:
+//
+//   - keeps per-kind staleness clocks (virtual time of the last *applied*
+//     Install / SetCwnd / SetRate), so tests and operators can see which
+//     half of the control loop died;
+//   - accepts an explicit agent-gone signal from the transport (a broken
+//     SocketLink), entering fallback immediately instead of waiting out the
+//     staleness budget;
+//   - enters fallback conservatively — the flow's window is halved (never
+//     below two segments) by replaying the fallback algorithm's own
+//     multiplicative decrease, and any stale pacing-rate cap is cleared so
+//     the window-based fallback is not throttled by a dead agent's last
+//     rate decision;
+//   - exits via a handoff ramp: the first post-recovery window increase is
+//     smoothed over roughly one RTT (the §3 smooth-transition machinery)
+//     even when SmoothCwnd is off, so authority returns to the agent
+//     without a cwnd discontinuity.
+//
+// Everything is driven by the configured netsim.Clock; with LivenessConfig
+// zero the layer is completely inert and the legacy watchdog behaviour is
+// bit-identical to before this file existed.
+
+// LivenessConfig configures the fail-safe layer for one flow. The zero
+// value disables it (Config.FallbackAfter then governs, as before).
+type LivenessConfig struct {
+	// StalenessBudget is how long the flow may run without a fresh applied
+	// control decision (Install, SetCwnd, SetRate) before the datapath
+	// assumes the agent is sick and enters fallback. 0 disables the
+	// liveness layer entirely.
+	StalenessBudget time.Duration
+	// CheckInterval is how often staleness is evaluated (default
+	// StalenessBudget/4, at least 1ms).
+	CheckInterval time.Duration
+	// HandoffRtts is the length of the exit ramp in round trips: after the
+	// agent recovers, window increases are smoothed over this many RTTs
+	// (default 1) so re-handoff causes no burst.
+	HandoffRtts float64
+	// MaxBackoff caps the report-interval stretch factor accepted from
+	// overloaded-agent Backoff messages (default 8).
+	MaxBackoff float64
+}
+
+func (lc LivenessConfig) on() bool { return lc.StalenessBudget > 0 }
+
+func (lc LivenessConfig) checkInterval() time.Duration {
+	iv := lc.CheckInterval
+	if iv <= 0 {
+		iv = lc.StalenessBudget / 4
+	}
+	if iv <= 0 {
+		iv = time.Millisecond
+	}
+	return iv
+}
+
+func (lc LivenessConfig) handoffRtts() float64 {
+	if lc.HandoffRtts <= 0 {
+		return 1
+	}
+	return lc.HandoffRtts
+}
+
+func (lc LivenessConfig) maxBackoff() float64 {
+	if lc.MaxBackoff <= 0 {
+		return 8
+	}
+	return lc.MaxBackoff
+}
+
+// Staleness reports the virtual time since the last applied control message
+// of each kind (Install, SetCwnd, SetRate), and since any of them. A kind
+// never received reads as the time since Init.
+type Staleness struct {
+	Install time.Duration
+	Cwnd    time.Duration
+	Rate    time.Duration
+	Any     time.Duration
+}
+
+// Staleness returns the flow's current control-staleness clocks.
+func (d *CCP) Staleness() Staleness {
+	now := d.cfg.Clock.Now()
+	return Staleness{
+		Install: now - d.lastInstallAt,
+		Cwnd:    now - d.lastCwndAt,
+		Rate:    now - d.lastRateAt,
+		Any:     now - d.lastAgentMsg,
+	}
+}
+
+// AgentGone tells the datapath the transport has lost (gone=true) or
+// re-established (gone=false) the agent connection. With the liveness layer
+// disabled this is a no-op. A gone signal enters fallback immediately; a
+// back signal alone does not exit fallback — only a fresh applied decision
+// proves the control loop is closed again.
+func (d *CCP) AgentGone(gone bool) {
+	if !d.cfg.Liveness.on() || gone == d.agentGone {
+		return
+	}
+	d.agentGone = gone
+	if gone {
+		d.stats.AgentGoneSignals++
+		d.mAgentGone.Inc()
+		if !d.fallbackActive {
+			d.enterFallback(false)
+		}
+	}
+}
+
+// touchCtrl records an applied control decision of kind t for the
+// staleness clocks, then feeds the shared liveness state.
+func (d *CCP) touchCtrl(t proto.MsgType) {
+	now := d.cfg.Clock.Now()
+	switch t {
+	case proto.TypeInstall:
+		d.lastInstallAt = now
+	case proto.TypeSetCwnd:
+		d.lastCwndAt = now
+	case proto.TypeSetRate:
+		d.lastRateAt = now
+	}
+	d.touchAgent()
+}
+
+// armLiveness starts the periodic staleness evaluation (the liveness
+// layer's replacement for armWatchdog).
+func (d *CCP) armLiveness() {
+	d.lastInstallAt = d.lastAgentMsg
+	d.lastCwndAt = d.lastAgentMsg
+	d.lastRateAt = d.lastAgentMsg
+	d.scheduleLiveness()
+}
+
+func (d *CCP) scheduleLiveness() {
+	d.liveTimer = d.cfg.Clock.AfterFunc(d.cfg.Liveness.checkInterval(), func() {
+		now := d.cfg.Clock.Now()
+		if !d.fallbackActive && (d.agentGone || now-d.lastAgentMsg > d.cfg.Liveness.StalenessBudget) {
+			d.enterFallback(!d.agentGone)
+		}
+		if d.fallbackActive {
+			// Re-announce the flow every tick while degraded: a restarted
+			// agent has no state for it and needs the Create to re-adopt it.
+			d.Resync()
+		}
+		d.scheduleLiveness()
+	})
+}
+
+// enterFallback hands the flow to the in-datapath algorithm. stale records
+// whether the trigger was budget exhaustion (vs. an explicit gone signal).
+func (d *CCP) enterFallback(stale bool) {
+	d.fallbackActive = true
+	d.stats.FallbackOn++
+	d.mFallbackOn.Inc()
+	if stale {
+		d.stats.LivenessStale++
+		d.mLivenessStale.Inc()
+	}
+	if d.waitTimer != nil {
+		d.waitTimer.Stop()
+		d.waitTimer = nil
+	}
+	// Cancel any in-flight smoothing ramp; the fallback owns the window now.
+	d.cwndTarget = 0
+	d.handoffUntil = 0
+	if d.conn != nil {
+		// The dead agent's last pacing cap must not throttle the fallback.
+		d.conn.SetPacingRate(0)
+		d.fallback.Init(d.conn)
+		// Conservative entry: replay the fallback's own multiplicative
+		// decrease, halving cwnd (floor two segments) and starting it in
+		// congestion avoidance rather than slow-starting from the stale
+		// window.
+		d.fallback.OnCongestion(d.conn, tcp.EventECN, 0)
+	}
+}
+
+// exitFallback returns authority to the agent after a fresh applied
+// decision. The installed program restarts from the top; under the liveness
+// layer the transition is additionally smoothed by a handoff ramp.
+func (d *CCP) exitFallback() {
+	d.fallbackActive = false
+	d.stats.FallbackOff++
+	d.mFallbackOff.Inc()
+	if d.cfg.Liveness.on() {
+		d.stats.HandoffRamps++
+		d.handoffUntil = d.cfg.Clock.Now() + d.rttDur(d.cfg.Liveness.handoffRtts())
+	}
+	d.pc = 0
+	d.waitedPass = false
+	d.resume()
+}
+
+// smoothingActive reports whether window increases should currently ramp
+// instead of stepping: always under SmoothCwnd, and during the post-fallback
+// handoff window under the liveness layer.
+func (d *CCP) smoothingActive() bool {
+	if d.cfg.SmoothCwnd {
+		return true
+	}
+	if d.handoffUntil > 0 {
+		if d.cfg.Clock.Now() < d.handoffUntil {
+			return true
+		}
+		d.handoffUntil = 0
+	}
+	return false
+}
+
+// handleBackoff applies an overload Backoff from the agent runtime: the
+// flow keeps the largest in-force stretch factor, clamped to MaxBackoff,
+// and lets it decay back toward 1 as waits are scheduled. Backoff is
+// advisory — it is not a control decision and does not count as liveness.
+func (d *CCP) handleBackoff(v *proto.Backoff) {
+	d.stats.BackoffsRecvd++
+	d.mBackoffRecvd.Inc()
+	f := v.Factor
+	if f < 1 {
+		f = 1
+	}
+	if mx := d.cfg.Liveness.maxBackoff(); f > mx {
+		f = mx
+	}
+	if f > d.backoffFactor {
+		d.backoffFactor = f
+	}
+}
+
+// stretchWait applies (and decays) the overload backoff factor to a program
+// wait duration. With no backoff in force it returns dur unchanged.
+func (d *CCP) stretchWait(dur time.Duration) time.Duration {
+	if d.backoffFactor <= 1 {
+		return dur
+	}
+	dur = time.Duration(float64(dur) * d.backoffFactor)
+	// Geometric decay: pressure relief is automatic once the runtime stops
+	// sending Backoffs, restoring full measurement frequency within a few
+	// report intervals.
+	d.backoffFactor *= 0.9
+	if d.backoffFactor < 1.01 {
+		d.backoffFactor = 1
+	}
+	return dur
+}
+
+// BackoffFactor returns the report-interval stretch currently in force
+// (1 when none).
+func (d *CCP) BackoffFactor() float64 {
+	if d.backoffFactor < 1 {
+		return 1
+	}
+	return d.backoffFactor
+}

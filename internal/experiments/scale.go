@@ -101,13 +101,17 @@ type ScalePoint struct {
 
 // ScaleResult is the benchmark output (serialized to BENCH_scale.json).
 type ScaleResult struct {
-	Config         ScaleConfig  `json:"-"`
-	Shards         int          `json:"shards"`
-	GOMAXPROCS     int          `json:"gomaxprocs"`
-	BatchMs        float64      `json:"batch_interval_ms"`
-	ReportsPerFlow int          `json:"reports_per_flow"`
-	Seed           int64        `json:"seed"`
-	Points         []ScalePoint `json:"points"`
+	Config         ScaleConfig `json:"-"`
+	Shards         int         `json:"shards"`
+	GOMAXPROCS     int         `json:"gomaxprocs"`
+	BatchMs        float64     `json:"batch_interval_ms"`
+	ReportsPerFlow int         `json:"reports_per_flow"`
+	Seed           int64       `json:"seed"`
+	// GitSHA records the commit the benchmark ran at, so a committed
+	// BENCH_scale.json can be traced to the code that produced it. Filled in
+	// by cmd/ccp-loadgen; empty when the tree's commit is unknown.
+	GitSHA string       `json:"git_sha,omitempty"`
+	Points []ScalePoint `json:"points"`
 }
 
 // loadAlg is the benchmark's algorithm: exactly one decision per report, so

@@ -40,6 +40,12 @@ type Config struct {
 	// through a fault injector with this plan (drawing on the simulator RNG,
 	// so runs stay deterministic per seed).
 	Faults *faults.Plan
+	// AgentFaults, when true, interposes a faults.AgentInjector between the
+	// bridge and the agent, so experiments can pause, slow, kill, and
+	// restart the agent process itself (Net.AgentInj / Net.RestartAgent).
+	// The injector starts healthy, which is transparent: deliveries are
+	// synchronous pass-through.
+	AgentFaults bool
 	// Metrics, when non-nil, is threaded into the agent and every CCP flow's
 	// datapath runtime, so one registry observes the whole deployment.
 	Metrics *metrics.Registry
@@ -56,9 +62,13 @@ type Net struct {
 	// FaultBridge is set when Config.Faults was given; CCP flows connect
 	// through it instead of Bridge.
 	FaultBridge *faults.Bridge
+	// AgentInj is set when Config.AgentFaults was given; the bridge delivers
+	// to it instead of directly to Agent.
+	AgentInj *faults.AgentInjector
 
-	metrics *metrics.Registry
-	nextSID uint32
+	metrics  *metrics.Registry
+	agentCfg core.AgentConfig
+	nextSID  uint32
 }
 
 // New builds a deployment; panics on misconfiguration (tests and
@@ -82,28 +92,54 @@ func New(cfg Config) *Net {
 		Bottleneck:   cfg.Link,
 		ReverseDelay: cfg.ReverseDelay,
 	}, fwd, rev)
-	agent, err := core.NewAgent(core.AgentConfig{
+	agentCfg := core.AgentConfig{
 		Registry:   cfg.Registry,
 		DefaultAlg: cfg.DefaultAlg,
 		Policy:     cfg.Policy,
 		Metrics:    cfg.Metrics,
-	})
+	}
+	agent, err := core.NewAgent(agentCfg)
 	if err != nil {
 		panic("harness: " + err.Error())
 	}
 	n := &Net{
-		Sim:     sim,
-		Path:    path,
-		Fwd:     fwd,
-		Rev:     rev,
-		Agent:   agent,
-		Bridge:  bridge.New(sim, agent, cfg.IPCLatency),
-		metrics: cfg.Metrics,
+		Sim:      sim,
+		Path:     path,
+		Fwd:      fwd,
+		Rev:      rev,
+		Agent:    agent,
+		metrics:  cfg.Metrics,
+		agentCfg: agentCfg,
 	}
+	var sink bridge.Handler = agent
+	if cfg.AgentFaults {
+		n.AgentInj = faults.NewAgentInjector(agent, func(d time.Duration, fn func()) {
+			sim.Schedule(d, fn)
+		})
+		sink = n.AgentInj
+	}
+	n.Bridge = bridge.New(sim, sink, cfg.IPCLatency)
 	if cfg.Faults != nil {
 		n.FaultBridge = faults.NewBridge(sim, n.Bridge, *cfg.Faults)
 	}
 	return n
+}
+
+// RestartAgent models an agent process restart: a fresh agent (empty flow
+// table, same configuration) replaces the old one behind the injector, and
+// the injector returns to healthy pass-through. Flows re-enter the fresh
+// agent via the datapaths' Resync Creates. Panics unless the deployment was
+// built with AgentFaults.
+func (n *Net) RestartAgent() {
+	if n.AgentInj == nil {
+		panic("harness: RestartAgent requires Config.AgentFaults")
+	}
+	agent, err := core.NewAgent(n.agentCfg)
+	if err != nil {
+		panic("harness: " + err.Error())
+	}
+	n.Agent = agent
+	n.AgentInj.Restart(agent)
 }
 
 // CCPFlow is a CCP-controlled flow plus its datapath runtime.

@@ -16,6 +16,12 @@ type SocketLinkConfig struct {
 	// Dial opens a transport to the agent. Required. It is retried with
 	// exponential backoff whenever the link is down.
 	Dial func() (ipc.Transport, error)
+	// DialTimeout bounds a single Dial attempt (default 2s). A Dial that
+	// blocks past the deadline — a SYN into a black hole, a wedged
+	// listener — is abandoned: its eventual transport, if any, is closed,
+	// and the attempt counts as failed. Without the bound, Close could
+	// hang the harness behind an unbounded dial.
+	DialTimeout time.Duration
 	// BackoffBase is the first retry delay (default 10ms); BackoffMax caps
 	// the exponential growth (default 1s).
 	BackoffBase time.Duration
@@ -41,6 +47,8 @@ type SocketLinkStats struct {
 	Dropped int
 	// UnknownSID counts agent messages for flows never attached.
 	UnknownSID int
+	// DialTimeouts counts dial attempts abandoned at DialTimeout.
+	DialTimeouts int
 }
 
 // SocketLink maintains a datapath's connection to an out-of-process agent
@@ -59,6 +67,12 @@ type SocketLink struct {
 	dps        map[uint32]*datapath.CCP
 	needResync bool
 	stats      SocketLinkStats
+	// everConnected gates agent-gone notifications: a link that has never
+	// been up is "agent not started yet", not "agent lost" (the datapath's
+	// staleness budget covers that case). goneNotified tracks which edge
+	// the attached datapaths last saw.
+	everConnected bool
+	goneNotified  bool
 
 	// inbox carries raw pooled frames from the reader goroutine to Pump;
 	// decoding happens on the simulation thread, into dec's reusable scratch,
@@ -75,6 +89,9 @@ type SocketLink struct {
 func NewSocketLink(cfg SocketLinkConfig) *SocketLink {
 	if cfg.Dial == nil {
 		panic("harness: SocketLinkConfig.Dial is required")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
 	}
 	if cfg.BackoffBase <= 0 {
 		cfg.BackoffBase = 10 * time.Millisecond
@@ -141,11 +158,29 @@ func (l *SocketLink) ToAgent(m proto.Msg) error {
 }
 
 // Pump routes buffered agent messages to their flows and, after a reconnect,
-// replays each attached flow's announcement. Call it from the simulation
-// thread between time slices; it never blocks.
+// replays each attached flow's announcement. It also propagates link-state
+// edges to the datapaths' liveness layer (AgentGone): a lost connection is
+// reported once the loop observes it, a re-established one on the next Pump
+// after reconnect. Call it from the simulation thread between time slices;
+// it never blocks.
 func (l *SocketLink) Pump() {
 	l.mu.Lock()
-	resync := l.needResync && l.tr != nil // wait out a down link; retry next Pump
+	up := l.tr != nil
+	var goneEdge, backEdge bool
+	if l.everConnected && !up && !l.goneNotified {
+		l.goneNotified = true
+		goneEdge = true
+	} else if up && l.goneNotified {
+		l.goneNotified = false
+		backEdge = true
+	}
+	var notify []*datapath.CCP
+	if goneEdge || backEdge {
+		for _, dp := range l.dps {
+			notify = append(notify, dp)
+		}
+	}
+	resync := l.needResync && up // wait out a down link; retry next Pump
 	var dps []*datapath.CCP
 	if resync {
 		l.needResync = false
@@ -155,6 +190,9 @@ func (l *SocketLink) Pump() {
 		l.stats.Resyncs += len(dps)
 	}
 	l.mu.Unlock()
+	for _, dp := range notify {
+		dp.AgentGone(goneEdge)
+	}
 	for _, dp := range dps {
 		dp.Resync()
 	}
@@ -237,8 +275,13 @@ func (l *SocketLink) connectLoop() {
 			return
 		default:
 		}
-		tr, err := l.cfg.Dial()
+		tr, err := l.dial()
 		if err != nil {
+			select {
+			case <-l.closed:
+				return // shutdown mid-dial; don't spin out another attempt
+			default:
+			}
 			l.logf("harness: agent dial failed (retry in %v): %v", backoff, err)
 			select {
 			case <-l.closed:
@@ -262,6 +305,7 @@ func (l *SocketLink) connectLoop() {
 		}
 		l.tr = tr
 		l.stats.Connects++
+		l.everConnected = true
 		// Flows announced on an earlier connection are unknown to whatever
 		// answered this dial; replay their Creates on the next Pump.
 		l.needResync = true
@@ -277,6 +321,42 @@ func (l *SocketLink) connectLoop() {
 		l.mu.Unlock()
 		tr.Close()
 		l.logf("harness: agent link lost")
+	}
+}
+
+// dial runs one Dial attempt bounded by DialTimeout and link shutdown. An
+// abandoned attempt keeps a drainer goroutine behind: Dial has no way to be
+// cancelled, so the drainer waits it out and closes whatever transport it
+// eventually produces.
+func (l *SocketLink) dial() (ipc.Transport, error) {
+	type result struct {
+		tr  ipc.Transport
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		tr, err := l.cfg.Dial()
+		ch <- result{tr, err}
+	}()
+	timer := time.NewTimer(l.cfg.DialTimeout)
+	defer timer.Stop()
+	abandon := func() {
+		go func() {
+			if r := <-ch; r.tr != nil {
+				r.tr.Close()
+			}
+		}()
+	}
+	select {
+	case r := <-ch:
+		return r.tr, r.err
+	case <-l.closed:
+		abandon()
+		return nil, fmt.Errorf("harness: link closed during dial")
+	case <-timer.C:
+		abandon()
+		l.note(func(s *SocketLinkStats) { s.DialTimeouts++ })
+		return nil, fmt.Errorf("harness: agent dial timed out after %v", l.cfg.DialTimeout)
 	}
 }
 

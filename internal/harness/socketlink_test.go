@@ -3,6 +3,7 @@ package harness_test
 import (
 	"net"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -62,6 +63,70 @@ func (p *agentProc) kill() {
 		default:
 			return
 		}
+	}
+}
+
+// hungTransport is a transport produced by a dial the link already gave up
+// on; the link's drainer must close it.
+type hungTransport struct {
+	once   sync.Once // several abandoned dials may share one transport
+	closed chan struct{}
+}
+
+func (h *hungTransport) Send([]byte) error     { return nil }
+func (h *hungTransport) Recv() ([]byte, error) { select {} }
+func (h *hungTransport) Close() error {
+	h.once.Do(func() { close(h.closed) })
+	return nil
+}
+
+// TestSocketLinkBoundsHungDial wedges Dial (a SYN into a black hole, a
+// deadlocked listener): every attempt must be abandoned at DialTimeout and
+// counted, and Close must return promptly with a dial still in flight — the
+// regression this guards is an unbounded dial hanging the whole harness
+// teardown.
+func TestSocketLinkBoundsHungDial(t *testing.T) {
+	release := make(chan struct{})
+	tr := &hungTransport{closed: make(chan struct{})}
+	link := harness.NewSocketLink(harness.SocketLinkConfig{
+		Dial: func() (ipc.Transport, error) {
+			<-release // wedged until the test lets go
+			return tr, nil
+		},
+		DialTimeout: 10 * time.Millisecond,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+	})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for link.Stats().DialTimeouts < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dial timeouts never accrued: %+v", link.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if link.Connected() {
+		t.Fatal("link claims connected with every dial wedged")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		link.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung behind a wedged dial")
+	}
+
+	// The wedged dial finally completes after abandonment: its transport
+	// belongs to nobody and the link's drainer must close it.
+	close(release)
+	select {
+	case <-tr.closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned dial's transport leaked unclosed")
 	}
 }
 

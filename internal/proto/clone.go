@@ -33,6 +33,9 @@ func Clone(m Msg) Msg {
 	case *SetRate:
 		c := *v
 		return &c
+	case *Backoff:
+		c := *v
+		return &c
 	case *Batch:
 		c := Batch{Msgs: make([]Msg, len(v.Msgs))}
 		for i, sub := range v.Msgs {

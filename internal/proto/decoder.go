@@ -32,9 +32,10 @@ type Decoder struct {
 	installs []Install
 	cwnds    []SetCwnd
 	rates    []SetRate
+	backoffs []Backoff
 	batch    Batch
 
-	nCreate, nMeas, nVec, nUrgent, nClose, nInstall, nCwnd, nRate int
+	nCreate, nMeas, nVec, nUrgent, nClose, nInstall, nCwnd, nRate, nBackoff int
 
 	// sub is the cursor for decoding batch sub-messages. It lives on the
 	// Decoder rather than the stack because the recursive decode call defeats
@@ -49,7 +50,7 @@ type Decoder struct {
 // the full ownership rules.
 func (dec *Decoder) Unmarshal(data []byte) (Msg, error) {
 	dec.nCreate, dec.nMeas, dec.nVec, dec.nUrgent = 0, 0, 0, 0
-	dec.nClose, dec.nInstall, dec.nCwnd, dec.nRate = 0, 0, 0, 0
+	dec.nClose, dec.nInstall, dec.nCwnd, dec.nRate, dec.nBackoff = 0, 0, 0, 0, 0
 	d := decoder{data: data}
 	m, err := dec.decode(&d, true)
 	if err != nil {
@@ -133,6 +134,13 @@ func (dec *Decoder) decode(d *decoder, allowBatch bool) (Msg, error) {
 	case TypeSetRate:
 		v := dec.nextRate()
 		v.SID, v.Seq, v.Bps = d.u32(), d.u32(), d.f64()
+		return v, nil
+	case TypeBackoff:
+		v := dec.nextBackoff()
+		v.SID, v.Factor = d.u32(), d.f64()
+		if d.err == nil && (v.Factor < 1 || v.Factor > 1e6 || v.Factor != v.Factor) {
+			return nil, fmt.Errorf("proto: invalid backoff factor %v", v.Factor)
+		}
 		return v, nil
 	case TypeBatch:
 		if !allowBatch {
@@ -240,5 +248,14 @@ func (dec *Decoder) nextRate() *SetRate {
 	}
 	v := &dec.rates[dec.nRate]
 	dec.nRate++
+	return v
+}
+
+func (dec *Decoder) nextBackoff() *Backoff {
+	if dec.nBackoff == len(dec.backoffs) {
+		dec.backoffs = append(dec.backoffs, Backoff{})
+	}
+	v := &dec.backoffs[dec.nBackoff]
+	dec.nBackoff++
 	return v
 }

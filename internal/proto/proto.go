@@ -4,7 +4,7 @@
 // wide range of congestion control algorithms:
 //
 //	datapath → agent: Create, Measurement, Vector, Urgent, Close
-//	agent → datapath: Install, SetCwnd, SetRate
+//	agent → datapath: Install, SetCwnd, SetRate, Backoff
 //
 // Messages are encoded little-endian with uvarint lengths; each Marshal
 // produces exactly one self-contained message (the transport adds framing).
@@ -40,6 +40,7 @@ const (
 	TypeSetCwnd
 	TypeSetRate
 	TypeBatch
+	TypeBackoff
 )
 
 func (t MsgType) String() string {
@@ -62,6 +63,8 @@ func (t MsgType) String() string {
 		return "SetRate"
 	case TypeBatch:
 		return "Batch"
+	case TypeBackoff:
+		return "Backoff"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -185,6 +188,22 @@ type SetRate struct {
 	Bps float64
 }
 
+// Backoff asks a datapath to degrade its measurement frequency: the control
+// plane is shedding load (a shard mailbox over its pressure watermark, or an
+// agent policy throttling a chatty flow) and would rather receive fewer
+// reports than drop them unpredictably. The datapath stretches its report
+// waits by Factor and decays back to its programmed cadence on its own, so no
+// recovery message is needed and a lost Backoff only means slightly later
+// relief. Backoff is advisory: it never carries a window or rate decision and
+// does not count as control liveness.
+type Backoff struct {
+	SID uint32
+	// Factor multiplies the flow's report intervals. Values are clamped to
+	// [1, the datapath's configured maximum]; the datapath keeps the largest
+	// factor currently in force.
+	Factor float64
+}
+
 // Batch carries several messages in one IPC frame — the §4 scaling answer:
 // per-message transport cost (syscall, framing, wakeup) is amortized across
 // every report coalesced within a batching interval, at the price of added
@@ -211,6 +230,7 @@ func (m *Install) Type() MsgType     { return TypeInstall }
 func (m *SetCwnd) Type() MsgType     { return TypeSetCwnd }
 func (m *SetRate) Type() MsgType     { return TypeSetRate }
 func (m *Batch) Type() MsgType       { return TypeBatch }
+func (m *Backoff) Type() MsgType     { return TypeBackoff }
 
 func (m *Create) FlowSID() uint32      { return m.SID }
 func (m *Measurement) FlowSID() uint32 { return m.SID }
@@ -220,6 +240,7 @@ func (m *Close) FlowSID() uint32       { return m.SID }
 func (m *Install) FlowSID() uint32     { return m.SID }
 func (m *SetCwnd) FlowSID() uint32     { return m.SID }
 func (m *SetRate) FlowSID() uint32     { return m.SID }
+func (m *Backoff) FlowSID() uint32     { return m.SID }
 
 // FlowSID returns 0: a batch spans flows, so per-flow routing must unpack
 // it (see Split).
@@ -321,6 +342,12 @@ func AppendMarshal(dst []byte, m Msg) ([]byte, error) {
 		b = binary.LittleEndian.AppendUint32(b, v.SID)
 		b = binary.LittleEndian.AppendUint32(b, v.Seq)
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Bps))
+	case *Backoff:
+		if v.Factor < 1 || v.Factor > 1e6 || v.Factor != v.Factor {
+			return nil, fmt.Errorf("proto: invalid backoff factor %v", v.Factor)
+		}
+		b = binary.LittleEndian.AppendUint32(b, v.SID)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Factor))
 	case *Batch:
 		if len(v.Msgs) > maxBatchMsgs {
 			return nil, fmt.Errorf("proto: batch too large (%d messages)", len(v.Msgs))

@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -23,6 +24,8 @@ func sampleMsgs() []Msg {
 		&Install{SID: 6, Prog: nil},
 		&SetCwnd{SID: 8, Seq: 7, Bytes: 29200},
 		&SetRate{SID: 9, Seq: 8, Bps: 1.25e9},
+		&Backoff{SID: 10, Factor: 4},
+		&Backoff{SID: 10, Factor: 1},
 		&Batch{Msgs: []Msg{
 			&Measurement{SID: 1, Seq: 100, Fields: []float64{0.01, 1e6}},
 			&Measurement{SID: 2, Seq: 3, Fields: []float64{0.02, 2e6}},
@@ -59,7 +62,8 @@ func TestTypeAndSID(t *testing.T) {
 	wantTypes := []MsgType{
 		TypeCreate, TypeCreate, TypeCreate, TypeMeasurement, TypeMeasurement,
 		TypeVector, TypeUrgent, TypeUrgent, TypeUrgent, TypeClose, TypeInstall,
-		TypeInstall, TypeSetCwnd, TypeSetRate, TypeBatch, TypeBatch,
+		TypeInstall, TypeSetCwnd, TypeSetRate, TypeBackoff, TypeBackoff,
+		TypeBatch, TypeBatch,
 	}
 	for i, m := range sampleMsgs() {
 		if m.Type() != wantTypes[i] {
@@ -107,6 +111,14 @@ func TestMarshalRejectsOversize(t *testing.T) {
 	long := make([]byte, 300)
 	if _, err := Marshal(&Create{SrcAddr: string(long)}); err == nil {
 		t.Fatal("oversized string marshalled")
+	}
+}
+
+func TestMarshalRejectsBadBackoffFactor(t *testing.T) {
+	for _, f := range []float64{0, 0.5, -1, 1e7, math.NaN()} {
+		if _, err := Marshal(&Backoff{SID: 1, Factor: f}); err == nil {
+			t.Errorf("backoff factor %v marshalled", f)
+		}
 	}
 }
 

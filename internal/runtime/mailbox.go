@@ -1,0 +1,168 @@
+package runtime
+
+import (
+	"sync"
+
+	"github.com/ccp-repro/ccp/internal/proto"
+)
+
+// mailbox is a shard's bounded queue: a mutex-guarded ring buffer rather
+// than a channel, because overload-aware degradation needs an operation a
+// channel cannot express — evicting the *oldest sheddable* entry to admit a
+// new one. Measurement traffic is time-series data: when the agent falls
+// behind, the newest report is worth more than the oldest, so pressure
+// sheds from the front. Control-plane traffic (Create, Close, Urgent,
+// Install acks via reply, drain sentinels) is never shed — losing it would
+// corrupt flow state rather than merely coarsen it.
+type mailbox struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	buf      []item
+	head     int
+	n        int
+	closed   bool
+	// shedMark is the occupancy at or above which a push may evict the
+	// oldest sheddable entry instead of blocking/dropping; 0 disables
+	// shedding (pure channel semantics).
+	shedMark int
+}
+
+func newMailbox(size, shedMark int) *mailbox {
+	mb := &mailbox{buf: make([]item, size), shedMark: shedMark}
+	mb.notFull = sync.NewCond(&mb.mu)
+	mb.notEmpty = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// push enqueues it. When occupancy has reached the shed watermark and an
+// older sheddable entry exists, that entry is evicted to make room and
+// returned. With no room and nothing sheddable, push blocks for space when
+// block is true, otherwise reports dropped. ok is false only when the
+// mailbox is closed.
+func (mb *mailbox) push(it item, block bool) (shed item, didShed, dropped, ok bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if mb.closed {
+			return item{}, false, false, false
+		}
+		if mb.shedMark > 0 && mb.n >= mb.shedMark {
+			if s, evicted := mb.shedOldestLocked(); evicted {
+				mb.insertLocked(it)
+				return s, true, false, true
+			}
+		}
+		if mb.n < len(mb.buf) {
+			mb.insertLocked(it)
+			return item{}, false, false, true
+		}
+		if !block {
+			return item{}, false, true, true
+		}
+		mb.notFull.Wait()
+	}
+}
+
+// pop dequeues the oldest entry, blocking while the mailbox is open and
+// empty. ok is false once the mailbox is closed and fully drained.
+func (mb *mailbox) pop() (it item, ok bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for mb.n == 0 {
+		if mb.closed {
+			return item{}, false
+		}
+		mb.notEmpty.Wait()
+	}
+	it = mb.buf[mb.head]
+	mb.buf[mb.head] = item{}
+	mb.head = (mb.head + 1) % len(mb.buf)
+	mb.n--
+	mb.notFull.Signal()
+	return it, true
+}
+
+// close refuses further pushes; queued entries remain poppable so the shard
+// drains them before exiting (matching the channel runtime's shutdown
+// semantics).
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.closed = true
+	mb.notFull.Broadcast()
+	mb.notEmpty.Broadcast()
+}
+
+func (mb *mailbox) len() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.n
+}
+
+func (mb *mailbox) insertLocked(it item) {
+	mb.buf[(mb.head+mb.n)%len(mb.buf)] = it
+	mb.n++
+	mb.notEmpty.Signal()
+}
+
+// shedOldestLocked evicts the oldest sheddable entry, compacting the ring.
+func (mb *mailbox) shedOldestLocked() (item, bool) {
+	for off := 0; off < mb.n; off++ {
+		i := (mb.head + off) % len(mb.buf)
+		if !sheddable(mb.buf[i]) {
+			continue
+		}
+		s := mb.buf[i]
+		// Shift everything after the hole forward one slot.
+		for j := off; j < mb.n-1; j++ {
+			from := (mb.head + j + 1) % len(mb.buf)
+			to := (mb.head + j) % len(mb.buf)
+			mb.buf[to] = mb.buf[from]
+		}
+		mb.buf[(mb.head+mb.n-1)%len(mb.buf)] = item{}
+		mb.n--
+		mb.notFull.Signal()
+		return s, true
+	}
+	return item{}, false
+}
+
+// sheddable reports whether an entry carries only measurement reports.
+// Urgents, Create/Close, drain sentinels, and mixed batches are load-bearing
+// control state and never shed.
+func sheddable(it item) bool {
+	if it.done != nil {
+		return false
+	}
+	switch m := it.m.(type) {
+	case *proto.Measurement, *proto.Vector:
+		return true
+	case *proto.Batch:
+		for _, sub := range m.Msgs {
+			switch sub.(type) {
+			case *proto.Measurement, *proto.Vector:
+			default:
+				return false
+			}
+		}
+		return len(m.Msgs) > 0
+	}
+	return false
+}
+
+// reportCount is how many reports an entry carries, for the shed counter.
+func reportCount(m proto.Msg) int {
+	if b, ok := m.(*proto.Batch); ok {
+		return len(b.Msgs)
+	}
+	return 1
+}
+
+// backoffSID picks the flow a shed entry's Backoff should target.
+func backoffSID(m proto.Msg) uint32 {
+	if b, ok := m.(*proto.Batch); ok && len(b.Msgs) > 0 {
+		return b.Msgs[0].FlowSID()
+	}
+	return m.FlowSID()
+}

@@ -1,0 +1,151 @@
+package runtime
+
+import (
+	"testing"
+
+	"github.com/ccp-repro/ccp/internal/proto"
+)
+
+func meas(sid, seq uint32) item {
+	return item{m: &proto.Measurement{SID: sid, Seq: seq, Fields: []float64{1}}}
+}
+
+func mustPush(t *testing.T, mb *mailbox, it item) (item, bool) {
+	t.Helper()
+	shed, didShed, dropped, ok := mb.push(it, false)
+	if !ok || dropped {
+		t.Fatalf("push failed: dropped=%v ok=%v", dropped, ok)
+	}
+	return shed, didShed
+}
+
+func TestMailboxShedsOldestReportAtWatermark(t *testing.T) {
+	mb := newMailbox(4, 2)
+	mustPush(t, mb, meas(1, 1))
+	mustPush(t, mb, item{m: &proto.Urgent{SID: 1, Seq: 1}})
+	// Occupancy is at the watermark: this push must evict the oldest
+	// sheddable entry (the seq-1 measurement), not the urgent in front of it.
+	shed, didShed := mustPush(t, mb, meas(1, 2))
+	if !didShed {
+		t.Fatal("no shed at watermark occupancy")
+	}
+	if m, ok := shed.m.(*proto.Measurement); !ok || m.Seq != 1 {
+		t.Fatalf("shed %T %+v, want the seq-1 measurement", shed.m, shed.m)
+	}
+	// Survivors pop in FIFO order: urgent first, then the new measurement.
+	it, _ := mb.pop()
+	if _, ok := it.m.(*proto.Urgent); !ok {
+		t.Fatalf("first survivor is %T, want Urgent", it.m)
+	}
+	it, _ = mb.pop()
+	if m, ok := it.m.(*proto.Measurement); !ok || m.Seq != 2 {
+		t.Fatalf("second survivor is %T %+v, want seq-2 measurement", it.m, it.m)
+	}
+	if mb.len() != 0 {
+		t.Fatalf("len=%d after draining", mb.len())
+	}
+}
+
+func TestMailboxNeverShedsControl(t *testing.T) {
+	mb := newMailbox(3, 1)
+	mixed := &proto.Batch{Msgs: []proto.Msg{
+		&proto.Measurement{SID: 1, Seq: 1, Fields: []float64{1}},
+		&proto.Close{SID: 1},
+	}}
+	mustPush(t, mb, item{m: &proto.Create{SID: 1}})
+	mustPush(t, mb, item{m: &proto.Urgent{SID: 1, Seq: 1}})
+	mustPush(t, mb, item{m: mixed})
+	// Full of control-plane entries: a non-blocking push has nothing to
+	// evict and must drop the newcomer, never a control entry.
+	_, didShed, dropped, ok := mb.push(meas(1, 9), false)
+	if didShed || !dropped || !ok {
+		t.Fatalf("shed=%v dropped=%v ok=%v, want drop with no eviction", didShed, dropped, ok)
+	}
+	for _, want := range []string{"*proto.Create", "*proto.Urgent", "*proto.Batch"} {
+		it, popOK := mb.pop()
+		if !popOK {
+			t.Fatal("queue lost a control entry")
+		}
+		if got := typeName(it.m); got != want {
+			t.Fatalf("popped %s, want %s", got, want)
+		}
+	}
+}
+
+func typeName(m proto.Msg) string {
+	switch m.(type) {
+	case *proto.Create:
+		return "*proto.Create"
+	case *proto.Urgent:
+		return "*proto.Urgent"
+	case *proto.Batch:
+		return "*proto.Batch"
+	}
+	return "other"
+}
+
+func TestSheddableClassification(t *testing.T) {
+	report := &proto.Measurement{SID: 1, Seq: 1}
+	cases := []struct {
+		name string
+		it   item
+		want bool
+	}{
+		{"measurement", item{m: report}, true},
+		{"vector", item{m: &proto.Vector{SID: 1, Seq: 1}}, true},
+		{"report batch", item{m: &proto.Batch{Msgs: []proto.Msg{report, &proto.Vector{SID: 2, Seq: 1}}}}, true},
+		{"empty batch", item{m: &proto.Batch{}}, false},
+		{"mixed batch", item{m: &proto.Batch{Msgs: []proto.Msg{report, &proto.Create{SID: 2}}}}, false},
+		{"create", item{m: &proto.Create{SID: 1}}, false},
+		{"close", item{m: &proto.Close{SID: 1}}, false},
+		{"urgent", item{m: &proto.Urgent{SID: 1, Seq: 1}}, false},
+		{"drain sentinel", item{done: make(chan struct{})}, false},
+	}
+	for _, c := range cases {
+		if got := sheddable(c.it); got != c.want {
+			t.Errorf("sheddable(%s)=%v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMailboxShedThenRecover(t *testing.T) {
+	mb := newMailbox(4, 3)
+	for seq := uint32(1); seq <= 3; seq++ {
+		mustPush(t, mb, meas(1, seq))
+	}
+	if _, didShed := mustPush(t, mb, meas(1, 4)); !didShed {
+		t.Fatal("no shed at watermark")
+	}
+	// Drain fully: pressure is gone, so subsequent pushes below the
+	// watermark must not shed and must preserve FIFO order.
+	for mb.len() > 0 {
+		mb.pop()
+	}
+	for seq := uint32(10); seq < 12; seq++ {
+		if _, didShed := mustPush(t, mb, meas(1, seq)); didShed {
+			t.Fatalf("shed below watermark after recovery (seq %d)", seq)
+		}
+	}
+	for seq := uint32(10); seq < 12; seq++ {
+		it, _ := mb.pop()
+		if m := it.m.(*proto.Measurement); m.Seq != seq {
+			t.Fatalf("popped seq %d, want %d (order broken after recovery)", m.Seq, seq)
+		}
+	}
+}
+
+func TestMailboxCloseSemantics(t *testing.T) {
+	mb := newMailbox(4, 0)
+	mustPush(t, mb, meas(1, 1))
+	mb.close()
+	if _, _, _, ok := mb.push(meas(1, 2), true); ok {
+		t.Fatal("push accepted after close")
+	}
+	// Entries queued before close stay poppable (shutdown drains them).
+	if it, ok := mb.pop(); !ok || it.m.(*proto.Measurement).Seq != 1 {
+		t.Fatalf("queued entry lost on close: ok=%v", ok)
+	}
+	if _, ok := mb.pop(); ok {
+		t.Fatal("pop reported an entry on a closed empty mailbox")
+	}
+}

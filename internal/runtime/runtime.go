@@ -66,6 +66,17 @@ type Config struct {
 	MailboxSize int
 	// Overflow selects the full-mailbox policy (default Block).
 	Overflow OverflowPolicy
+	// ShedWatermark, when in (0, 1], turns on overload shedding: once a
+	// shard's queue occupancy reaches watermark×MailboxSize, enqueues evict
+	// the oldest queued *report* (Measurement, Vector, or all-report Batch)
+	// to make room, and the evicted flow is sent a proto.Backoff asking its
+	// datapath to stretch its report interval. Urgents, Create/Close, and
+	// mixed batches are never shed. 0 disables (the pre-shedding
+	// behaviour). Inline mode (Shards <= 1) has no queue and is unaffected.
+	ShedWatermark float64
+	// ShedBackoff is the report-interval stretch factor carried by the
+	// Backoff sent to a shed flow (default 2).
+	ShedBackoff float64
 	// Metrics optionally receives runtime counters. Nil is valid; this is
 	// normally the same registry as Agent.Metrics.
 	Metrics *metrics.Registry
@@ -84,6 +95,11 @@ type Stats struct {
 	// BatchesSplit counts batch frames that spanned shards and were split
 	// into per-shard sub-batches.
 	BatchesSplit int64
+	// ReportsShed counts reports evicted by overload shedding (a shed batch
+	// counts each report it carried); BackoffsSent counts the degradation
+	// signals sent to the affected flows.
+	ReportsShed  int64
+	BackoffsSent int64
 	// Agent is the sum of every shard's core.AgentStats.
 	Agent core.AgentStats
 }
@@ -98,7 +114,7 @@ type item struct {
 
 type shard struct {
 	agent *core.Agent
-	mail  chan item
+	mail  *mailbox
 }
 
 // Runtime is the sharded agent executor. It implements Handler.
@@ -107,8 +123,7 @@ type Runtime struct {
 	shards []*shard
 	inline *core.Agent // non-nil iff Shards <= 1
 
-	quit chan struct{}
-	wg   sync.WaitGroup
+	wg sync.WaitGroup
 
 	closeOnce sync.Once
 
@@ -116,10 +131,14 @@ type Runtime struct {
 	dropped         atomic.Int64
 	shutdownDropped atomic.Int64
 	batchesSplit    atomic.Int64
+	reportsShed     atomic.Int64
+	backoffsSent    atomic.Int64
 
 	mDispatched *metrics.Counter
 	mDropped    *metrics.Counter
 	mSplits     *metrics.Counter
+	mShed       *metrics.Counter
+	mBackoffs   *metrics.Counter
 }
 
 // New validates cfg and returns a runtime. Shard goroutines (if any) start
@@ -131,12 +150,19 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.MailboxSize <= 0 {
 		cfg.MailboxSize = 1024
 	}
+	if cfg.ShedWatermark < 0 || cfg.ShedWatermark > 1 {
+		return nil, fmt.Errorf("runtime: shed watermark %v outside [0, 1]", cfg.ShedWatermark)
+	}
+	if cfg.ShedBackoff <= 1 {
+		cfg.ShedBackoff = 2
+	}
 	r := &Runtime{
 		cfg:         cfg,
-		quit:        make(chan struct{}),
 		mDispatched: cfg.Metrics.Counter("runtime_dispatched_total"),
 		mDropped:    cfg.Metrics.Counter("runtime_dropped_total"),
 		mSplits:     cfg.Metrics.Counter("runtime_batches_split_total"),
+		mShed:       cfg.Metrics.Counter("runtime_reports_shed_total"),
+		mBackoffs:   cfg.Metrics.Counter("runtime_backoffs_sent_total"),
 	}
 	if cfg.Shards <= 1 {
 		a, err := core.NewAgent(cfg.Agent)
@@ -146,13 +172,20 @@ func New(cfg Config) (*Runtime, error) {
 		r.inline = a
 		return r, nil
 	}
+	shedMark := 0
+	if cfg.ShedWatermark > 0 {
+		shedMark = int(cfg.ShedWatermark * float64(cfg.MailboxSize))
+		if shedMark < 1 {
+			shedMark = 1
+		}
+	}
 	r.shards = make([]*shard, cfg.Shards)
 	for i := range r.shards {
 		a, err := core.NewAgent(cfg.Agent)
 		if err != nil {
 			return nil, err
 		}
-		sh := &shard{agent: a, mail: make(chan item, cfg.MailboxSize)}
+		sh := &shard{agent: a, mail: newMailbox(cfg.MailboxSize, shedMark)}
 		r.shards[i] = sh
 		r.wg.Add(1)
 		go r.run(sh)
@@ -160,32 +193,22 @@ func New(cfg Config) (*Runtime, error) {
 	return r, nil
 }
 
-// run is one shard's loop: drain the mailbox until shutdown, then drain
-// whatever is already queued and exit. Only this goroutine touches the
-// shard's agent, so the agent's internal mutex never contends.
+// run is one shard's loop: pop the mailbox until it closes and drains.
+// Only this goroutine touches the shard's agent, so the agent's internal
+// mutex never contends. The mailbox keeps queued entries poppable after
+// close, so shutdown still drains in-flight work before the shard exits.
 func (r *Runtime) run(sh *shard) {
 	defer r.wg.Done()
-	handle := func(it item) {
-		if it.done != nil {
-			close(it.done)
+	for {
+		it, ok := sh.mail.pop()
+		if !ok {
 			return
 		}
-		sh.agent.HandleMessage(it.m, it.reply)
-	}
-	for {
-		select {
-		case it := <-sh.mail:
-			handle(it)
-		case <-r.quit:
-			for {
-				select {
-				case it := <-sh.mail:
-					handle(it)
-				default:
-					return
-				}
-			}
+		if it.done != nil {
+			close(it.done)
+			continue
 		}
+		sh.agent.HandleMessage(it.m, it.reply)
 	}
 }
 
@@ -272,29 +295,37 @@ func (r *Runtime) routeBatch(b *proto.Batch, reply func(proto.Msg) error) {
 
 func (r *Runtime) enqueue(sh *shard, m proto.Msg, reply func(proto.Msg) error) {
 	it := item{m: m, reply: reply}
-	if r.cfg.Overflow == Drop {
-		select {
-		case <-r.quit:
-			r.shutdownDropped.Add(1)
-			return
-		default:
-		}
-		select {
-		case sh.mail <- it:
-			r.dispatched.Add(1)
-			r.mDispatched.Inc()
-		default:
-			r.dropped.Add(1)
-			r.mDropped.Inc()
-		}
+	shed, didShed, dropped, ok := sh.mail.push(it, r.cfg.Overflow == Block)
+	switch {
+	case !ok:
+		r.shutdownDropped.Add(1)
+		return
+	case dropped:
+		r.dropped.Add(1)
+		r.mDropped.Inc()
 		return
 	}
-	select {
-	case sh.mail <- it:
-		r.dispatched.Add(1)
-		r.mDispatched.Inc()
-	case <-r.quit:
-		r.shutdownDropped.Add(1)
+	r.dispatched.Add(1)
+	r.mDispatched.Inc()
+	if didShed {
+		r.onShed(shed)
+	}
+}
+
+// onShed accounts for an evicted report and asks the shed flow's datapath
+// to back off its report interval, so measurement frequency degrades at the
+// source before correctness does. The Backoff rides the shed entry's reply
+// path (the channel back to the datapath that sent the report); a send
+// failure is ignored — the signal is advisory and the next shed retries.
+func (r *Runtime) onShed(shed item) {
+	r.reportsShed.Add(int64(reportCount(shed.m)))
+	r.mShed.Inc()
+	if shed.reply == nil {
+		return
+	}
+	if err := shed.reply(&proto.Backoff{SID: backoffSID(shed.m), Factor: r.cfg.ShedBackoff}); err == nil {
+		r.backoffsSent.Add(1)
+		r.mBackoffs.Inc()
 	}
 }
 
@@ -302,7 +333,11 @@ func (r *Runtime) enqueue(sh *shard, m proto.Msg, reply func(proto.Msg) error) {
 // are drained, and all shard goroutines exit before Close returns. Inline
 // mode has nothing to stop. Safe to call more than once.
 func (r *Runtime) Close() {
-	r.closeOnce.Do(func() { close(r.quit) })
+	r.closeOnce.Do(func() {
+		for _, sh := range r.shards {
+			sh.mail.close()
+		}
+	})
 	r.wg.Wait()
 }
 
@@ -316,16 +351,12 @@ func (r *Runtime) Drain() {
 	}
 	for _, sh := range r.shards {
 		done := make(chan struct{})
-		select {
-		case sh.mail <- item{done: done}:
-		case <-r.quit:
-			return
+		if _, _, _, ok := sh.mail.push(item{done: done}, true); !ok {
+			return // closed: the shards are draining to exit anyway
 		}
-		select {
-		case <-done:
-		case <-r.quit:
-			return
-		}
+		// The sentinel is queued, so the shard is guaranteed to pop it even
+		// if Close races in (close keeps queued entries poppable).
+		<-done
 	}
 }
 
@@ -336,6 +367,8 @@ func (r *Runtime) Stats() Stats {
 		Dropped:         r.dropped.Load(),
 		ShutdownDropped: r.shutdownDropped.Load(),
 		BatchesSplit:    r.batchesSplit.Load(),
+		ReportsShed:     r.reportsShed.Load(),
+		BackoffsSent:    r.backoffsSent.Load(),
 	}
 	if r.inline != nil {
 		s.Agent = r.inline.Stats()

@@ -285,12 +285,146 @@ func TestConcurrentDispatchManyGoroutines(t *testing.T) {
 	}
 }
 
+func TestShedUnderOverloadSendsBackoff(t *testing.T) {
+	gate := make(chan struct{})
+	rt, err := runtime.New(runtime.Config{
+		Shards:        2,
+		Agent:         agentCfg(gate),
+		MailboxSize:   4,
+		ShedWatermark: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var backoffs []*proto.Backoff
+	reply := func(m proto.Msg) error {
+		if b, ok := m.(*proto.Backoff); ok {
+			mu.Lock()
+			backoffs = append(backoffs, b)
+			mu.Unlock()
+		}
+		return nil
+	}
+	rt.HandleMessage(&proto.Create{SID: 2}, reply)
+	rt.Drain()
+	// Wedge shard 0 (SID 2) in OnMeasurement and pour reports in. Shedding
+	// must keep making room, so the blocking overflow policy never engages
+	// and the producer never stalls.
+	const reports = 20
+	for seq := uint32(1); seq <= reports; seq++ {
+		rt.HandleMessage(&proto.Measurement{SID: 2, Seq: seq, Fields: []float64{1}}, reply)
+	}
+	st := rt.Stats()
+	if st.ReportsShed == 0 {
+		t.Fatalf("no reports shed despite wedged shard: %+v", st)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("shedding path dropped outright: %+v", st)
+	}
+	close(gate)
+	rt.Close()
+	final := rt.Stats()
+	// Conservation: every report was either processed or shed, none lost.
+	if got := int64(final.Agent.Measurements) + final.ReportsShed; got != reports {
+		t.Fatalf("processed+shed=%d, want %d (stats=%+v)", got, reports, final)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if int64(len(backoffs)) != final.BackoffsSent {
+		t.Fatalf("captured %d backoffs, stats say %d", len(backoffs), final.BackoffsSent)
+	}
+	if len(backoffs) == 0 {
+		t.Fatal("no Backoff degradation signal sent to the shed flow")
+	}
+	for _, b := range backoffs {
+		if b.SID != 2 || b.Factor != 2 {
+			t.Fatalf("backoff=%+v, want SID 2 factor 2 (default)", b)
+		}
+	}
+}
+
+func TestShedNeverTouchesControlMessages(t *testing.T) {
+	gate := make(chan struct{})
+	rt, err := runtime.New(runtime.Config{
+		Shards:        2,
+		Agent:         agentCfg(gate),
+		MailboxSize:   4,
+		ShedWatermark: 0.25, // watermark of 1: maximum shedding pressure
+		ShedBackoff:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := func(proto.Msg) error { return nil }
+	rt.HandleMessage(&proto.Create{SID: 2}, reply)
+	rt.Drain()
+	// Interleave reports with urgents and a second flow's Create while the
+	// shard is wedged; only reports may be shed.
+	for seq := uint32(1); seq <= 6; seq++ {
+		rt.HandleMessage(&proto.Measurement{SID: 2, Seq: seq, Fields: []float64{1}}, reply)
+	}
+	rt.HandleMessage(&proto.Urgent{SID: 2, Seq: 1, Kind: proto.UrgentDupAck, Value: 1448}, reply)
+	rt.HandleMessage(&proto.Create{SID: 4}, reply)
+	rt.HandleMessage(&proto.Close{SID: 4}, reply)
+	close(gate)
+	rt.Close()
+	st := rt.Stats()
+	if st.Agent.FlowsCreated != 2 || st.Agent.FlowsClosed != 1 || st.Agent.Urgents != 1 {
+		t.Fatalf("control-plane message lost under shedding: %+v", st.Agent)
+	}
+	if st.ReportsShed == 0 {
+		t.Fatalf("expected report shedding at watermark 1: %+v", st)
+	}
+}
+
+func TestInlineModeUnaffectedByShedConfig(t *testing.T) {
+	// Inline mode (shards <= 1) has no queue: a shed config must change
+	// nothing — replies stay bit-identical to a bare agent and the shed
+	// counters never move.
+	msgs := script(8)
+	direct, err := core.NewAgent(agentCfg(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := runtime.New(runtime.Config{
+		Shards:        1,
+		Agent:         agentCfg(nil),
+		ShedWatermark: 0.5,
+		ShedBackoff:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	want := replies(t, direct, msgs)
+	got := replies(t, rt, msgs)
+	if len(want) != len(got) {
+		t.Fatalf("reply counts diverged: agent=%d runtime=%d", len(want), len(got))
+	}
+	for i := range want {
+		if string(want[i]) != string(got[i]) {
+			t.Fatalf("reply %d diverged under shed config", i)
+		}
+	}
+	st := rt.Stats()
+	if st.ReportsShed != 0 || st.BackoffsSent != 0 {
+		t.Fatalf("inline mode shed something: %+v", st)
+	}
+}
+
 func TestBadConfigRejected(t *testing.T) {
 	if _, err := runtime.New(runtime.Config{Shards: -1, Agent: agentCfg(nil)}); err == nil {
 		t.Fatal("negative shard count accepted")
 	}
 	if _, err := runtime.New(runtime.Config{Shards: 2}); err == nil {
 		t.Fatal("missing registry accepted")
+	}
+	if _, err := runtime.New(runtime.Config{Shards: 2, Agent: agentCfg(nil), ShedWatermark: -0.1}); err == nil {
+		t.Fatal("negative shed watermark accepted")
+	}
+	if _, err := runtime.New(runtime.Config{Shards: 2, Agent: agentCfg(nil), ShedWatermark: 1.5}); err == nil {
+		t.Fatal("shed watermark above 1 accepted")
 	}
 }
 
