@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-scale bench-hotpath benchstat test-allocs test-debugpool test-race-robust vet lint fmt check fuzz-smoke examples experiments clean
+.PHONY: all build test test-short bench bench-scale bench-hotpath benchstat test-allocs test-debugpool test-race-robust test-ha vet lint fmt check fuzz-smoke examples experiments clean
 
 all: build test
 
@@ -61,7 +61,20 @@ test-allocs:
 test-race-robust:
 	$(GO) test -race -count=2 ./internal/runtime/ ./internal/harness/ \
 		./internal/ipc/ ./internal/bridge/ ./internal/faults/ \
-		./internal/datapath/
+		./internal/datapath/ ./internal/supervise/
+
+# High-availability lane: the supervise package (failure detector, warm
+# standby, wire replication), the harness failover path and probe-gated
+# fallback hysteresis, snapshot aggregation across the sharded runtime
+# (including the restart-vs-shedding race shape), and the ablation-ha
+# acceptance tests.
+test-ha:
+	$(GO) test -count=1 ./internal/supervise/
+	$(GO) test -count=1 -run 'TestSlowAgentSingleFallbackCycle|TestProbesOffNoProbeTraffic|TestWarmStandbyFailoverBeatsFallback|TestPumpPausesWithDeadAgent' \
+		./internal/harness/
+	$(GO) test -count=1 -run 'TestSnapshotIntoAggregatesShards|TestRaceShardRestartDuringShedding' \
+		./internal/runtime/
+	$(GO) test -count=1 -run 'TestAblHA' ./internal/experiments/
 
 vet:
 	$(GO) vet ./...
@@ -90,6 +103,7 @@ check: vet lint
 	$(GO) test -race -short ./...
 	$(MAKE) test-allocs
 	$(MAKE) test-debugpool
+	$(MAKE) test-ha
 	$(MAKE) fuzz-smoke
 
 # 10-second smoke of each proto fuzz target; `go test -fuzz` accepts one
@@ -98,6 +112,7 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzUnmarshal$$' -fuzztime=$(FUZZTIME) ./internal/proto
 	$(GO) test -run='^$$' -fuzz='^FuzzCreateRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/proto
+	$(GO) test -run='^$$' -fuzz='^FuzzSnapshotRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/proto
 
 fmt:
 	gofmt -l -w .

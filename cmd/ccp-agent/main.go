@@ -7,19 +7,29 @@
 //	ccp-agent -listen /tmp/ccp.sock -default-alg cubic
 //	ccp-agent -list-algs
 //	ccp-agent -listen /tmp/ccp.sock -max-rate-mbps 100   # per-flow policy
+//
+// High availability (see DESIGN.md §10): a primary replicates per-flow
+// snapshots to a warm standby, which promotes itself into a live agent when
+// the replication stream drops:
+//
+//	ccp-agent -listen /tmp/ccp-standby.sock -standby
+//	ccp-agent -listen /tmp/ccp.sock -replicate /tmp/ccp-standby.sock
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/ccp-repro/ccp/internal/algorithms"
 	"github.com/ccp-repro/ccp/internal/core"
 	"github.com/ccp-repro/ccp/internal/ipc"
+	"github.com/ccp-repro/ccp/internal/supervise"
 )
 
 func main() {
@@ -30,6 +40,12 @@ func main() {
 		maxCwnd    = flag.Int("max-cwnd-kb", 0, "per-flow max cwnd policy in KiB (0 = none)")
 		listAlgs   = flag.Bool("list-algs", false, "list registered algorithms and exit")
 		verbose    = flag.Bool("v", false, "log per-flow activity")
+		standby    = flag.Bool("standby", false,
+			"run as a warm standby: consume snapshot replication on the listen socket, promote when the primary's stream drops")
+		replicateTo = flag.String("replicate", "",
+			"standby socket to replicate per-flow snapshots to (\"\" = no replication)")
+		replicateEvery = flag.Duration("replicate-interval", 50*time.Millisecond,
+			"snapshot replication period (with -replicate)")
 	)
 	flag.Parse()
 
@@ -54,14 +70,11 @@ func main() {
 	if *verbose {
 		logf = log.Printf
 	}
-	agent, err := core.NewAgent(core.AgentConfig{
+	agentCfg := core.AgentConfig{
 		Registry:   reg,
 		DefaultAlg: *defaultAlg,
 		Policy:     policy,
 		Logf:       logf,
-	})
-	if err != nil {
-		log.Fatalf("ccp-agent: %v", err)
 	}
 
 	os.Remove(*listen)
@@ -71,6 +84,19 @@ func main() {
 	}
 	defer ln.Close()
 	defer os.Remove(*listen)
+
+	var agent *core.Agent
+	if *standby {
+		agent = runStandby(ln, agentCfg)
+	} else {
+		agent, err = core.NewAgent(agentCfg)
+		if err != nil {
+			log.Fatalf("ccp-agent: %v", err)
+		}
+	}
+	if *replicateTo != "" {
+		go replicate(agent, *replicateTo, *replicateEvery)
+	}
 	log.Printf("ccp-agent: listening on %s (default algorithm %q)", *listen, *defaultAlg)
 
 	sigc := make(chan os.Signal, 1)
@@ -98,5 +124,62 @@ func main() {
 			}
 			t.Close()
 		}()
+	}
+}
+
+// runStandby holds the process in warm-standby mode: replication streams
+// from the primary are consumed one at a time on the listen socket, keeping
+// the snapshot store current. When a stream drops with flow state held —
+// the primary died — the store is promoted into a live agent, and main's
+// accept loop takes over serving datapaths on the same socket.
+func runStandby(ln *net.UnixListener, cfg core.AgentConfig) *core.Agent {
+	sb := supervise.NewStandby()
+	log.Printf("ccp-agent: warm standby, awaiting replication")
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("ccp-agent: standby accept: %v", err)
+		}
+		t := ipc.NewStream(conn)
+		serveErr := sb.ServeTransport(t)
+		t.Close()
+		st := sb.Stats()
+		log.Printf("ccp-agent: replication stream ended (%v): holding %d flows (applied %d, removed %d)",
+			serveErr, sb.FlowCount(), st.Applied, st.Removed)
+		if sb.FlowCount() > 0 {
+			break
+		}
+	}
+	agent, err := sb.Promote(cfg)
+	if err != nil {
+		log.Fatalf("ccp-agent: promote: %v", err)
+	}
+	st := agent.Stats()
+	log.Printf("ccp-agent: promoted standby: %d flows restored (%d failed)",
+		st.Restores, sb.Stats().RestoreErrors)
+	return agent
+}
+
+// replicate pushes periodic snapshot passes to a standby's socket: a full
+// pass on each fresh connection, incremental deltas after, redialing with a
+// short backoff while the standby is down.
+func replicate(agent *core.Agent, path string, every time.Duration) {
+	for {
+		t, err := ipc.DialUnix(path)
+		if err != nil {
+			time.Sleep(time.Second)
+			continue
+		}
+		log.Printf("ccp-agent: replicating to %s every %v", path, every)
+		full := true
+		for {
+			if _, err := supervise.Replicate(agent, full, t); err != nil {
+				log.Printf("ccp-agent: replication to %s broken: %v", path, err)
+				t.Close()
+				break
+			}
+			full = false
+			time.Sleep(every)
+		}
 	}
 }

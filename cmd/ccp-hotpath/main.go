@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"strings"
 	"testing"
 	"time"
 
@@ -70,8 +72,19 @@ type pair struct {
 
 type report struct {
 	Tool      string `json:"tool"`
+	GitSHA    string `json:"git_sha,omitempty"`
 	Benchtime string `json:"benchtime"`
 	Pairs     []pair `json:"pairs"`
+}
+
+// gitSHA ties a committed BENCH_hotpath.json to the tree it measured (same
+// stamp as ccp-loadgen's BENCH_scale.json); absent outside a git checkout.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func run(jsonOut string, benchtime time.Duration) error {
@@ -81,7 +94,7 @@ func run(jsonOut string, benchtime time.Duration) error {
 		return err
 	}
 
-	rep := report{Tool: "ccp-hotpath", Benchtime: benchtime.String()}
+	rep := report{Tool: "ccp-hotpath", GitSHA: gitSHA(), Benchtime: benchtime.String()}
 	rep.Pairs = append(rep.Pairs,
 		compare("codec round trip (7-field report)", benchCodecAlloc, benchCodecReuse),
 		compare("codec round trip (16-report batch)", benchBatchAlloc, benchBatchReuse),

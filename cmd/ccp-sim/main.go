@@ -25,7 +25,7 @@ var experimentOrder = []string{
 	"fig2", "fig3", "fig4", "fig5",
 	"ablation-batching", "ablation-lowrtt", "ablation-foldvec",
 	"ablation-fallback", "ablation-urgent", "ablation-chaos",
-	"ablation-agentchaos",
+	"ablation-agentchaos", "ablation-ha",
 	"ext-smooth", "ext-synthesis", "ext-group",
 }
 
@@ -116,6 +116,8 @@ func run(id string, scale float64, fig2Samples int, outDir string) error {
 		fmt.Println(experiments.AblChaos())
 	case "ablation-agentchaos":
 		fmt.Println(experiments.AblAgentChaos())
+	case "ablation-ha":
+		fmt.Println(experiments.AblHA())
 	case "ext-smooth":
 		fmt.Println(experiments.AblSmooth())
 	case "ext-synthesis":

@@ -1,0 +1,143 @@
+package algorithms
+
+import "github.com/ccp-repro/ccp/internal/core"
+
+// Snapshot support (core.SnapshotExporter) for the workhorse algorithms: the
+// private registers a warm-standby agent needs to resume a flow mid-phase
+// instead of cold-starting it — a restored Cubic continues on its cubic
+// curve from wMax/K, a restored BBR stays in ProbeBW with its bandwidth
+// window intact rather than re-entering the high-gain startup the BBR
+// evaluation literature shows is so costly.
+//
+// Each algorithm exports a flat []float64 in a fixed order documented at its
+// ExportState. ImportState rejects a slice whose length it does not
+// recognize (the restoring agent then keeps cold-start state); the wire
+// Snapshot's version byte already rejects cross-build restores, so a length
+// mismatch here indicates a same-build bug, not skew.
+
+var (
+	_ core.SnapshotExporter = (*Reno)(nil)
+	_ core.SnapshotExporter = (*NewRenoAlg)(nil)
+	_ core.SnapshotExporter = (*AIMD)(nil)
+	_ core.SnapshotExporter = (*Cubic)(nil)
+	_ core.SnapshotExporter = (*BBR)(nil)
+	_ core.SnapshotExporter = (*Timely)(nil)
+)
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ExportState appends [cwnd, ssthresh, mss, cutSinceReport].
+func (r *Reno) ExportState(dst []float64) []float64 {
+	return append(dst, r.cwnd, r.ssthresh, r.mss, b2f(r.cutSinceReport))
+}
+
+// ImportState implements core.SnapshotExporter.
+func (r *Reno) ImportState(src []float64) bool {
+	if len(src) != 4 {
+		return false
+	}
+	r.cwnd, r.ssthresh, r.mss = src[0], src[1], src[2]
+	r.cutSinceReport = src[3] != 0
+	return true
+}
+
+// ExportState appends [cwnd, ssthresh, mss, inRecovery, recoverAcked].
+func (n *NewRenoAlg) ExportState(dst []float64) []float64 {
+	return append(dst, n.cwnd, n.ssthresh, n.mss, b2f(n.inRecovery), n.recoverAcked)
+}
+
+// ImportState implements core.SnapshotExporter.
+func (n *NewRenoAlg) ImportState(src []float64) bool {
+	if len(src) != 5 {
+		return false
+	}
+	n.cwnd, n.ssthresh, n.mss = src[0], src[1], src[2]
+	n.inRecovery = src[3] != 0
+	n.recoverAcked = src[4]
+	return true
+}
+
+// ExportState appends [increaseSegs, decreaseFactor, mss, cwnd].
+func (a *AIMD) ExportState(dst []float64) []float64 {
+	return append(dst, a.IncreaseSegs, a.DecreaseFactor, a.mss, a.cwnd)
+}
+
+// ImportState implements core.SnapshotExporter.
+func (a *AIMD) ImportState(src []float64) bool {
+	if len(src) != 4 {
+		return false
+	}
+	a.IncreaseSegs, a.DecreaseFactor, a.mss, a.cwnd = src[0], src[1], src[2], src[3]
+	return true
+}
+
+// ExportState appends [mss, cwndSegs, ssthresh, wMax, k, epochStart, srtt,
+// cutSinceReport] — the full cubic curve position, so a restored flow
+// continues along the same window curve.
+func (cu *Cubic) ExportState(dst []float64) []float64 {
+	return append(dst, cu.mss, cu.cwndSegs, cu.ssthresh, cu.wMax, cu.k,
+		cu.epochStart, cu.srtt, b2f(cu.cutSinceReport))
+}
+
+// ImportState implements core.SnapshotExporter.
+func (cu *Cubic) ImportState(src []float64) bool {
+	if len(src) != 8 {
+		return false
+	}
+	cu.mss, cu.cwndSegs, cu.ssthresh, cu.wMax = src[0], src[1], src[2], src[3]
+	cu.k, cu.epochStart, cu.srtt = src[4], src[5], src[6]
+	cu.cutSinceReport = src[7] != 0
+	return true
+}
+
+// ExportState appends [mss, state, btlBw, rtProp, fullBwCnt, lastFullBw,
+// installed, len(bwWindow), bwWindow...] — phase plus the windowed
+// bandwidth filter, so a restored ProbeBW flow keeps pulsing around the
+// same estimate instead of re-running startup.
+func (b *BBR) ExportState(dst []float64) []float64 {
+	dst = append(dst, b.mss, float64(b.state), b.btlBw, b.rtProp,
+		float64(b.fullBwCnt), b.lastFullBw, b.installed, float64(len(b.bwWindow)))
+	return append(dst, b.bwWindow...)
+}
+
+// ImportState implements core.SnapshotExporter.
+func (b *BBR) ImportState(src []float64) bool {
+	const fixed = 8
+	if len(src) < fixed {
+		return false
+	}
+	n := int(src[7])
+	if n < 0 || len(src) != fixed+n {
+		return false
+	}
+	st := bbrState(src[1])
+	if st > bbrProbeBW {
+		return false
+	}
+	b.mss, b.state, b.btlBw, b.rtProp = src[0], st, src[2], src[3]
+	b.fullBwCnt, b.lastFullBw, b.installed = int(src[4]), src[5], src[6]
+	b.bwWindow = append(b.bwWindow[:0], src[fixed:]...)
+	return true
+}
+
+// ExportState appends [mss, rate, prevRTT, minRTT, gradient, addStep,
+// betaMul, tLow, tHigh, ewmaGain].
+func (t *Timely) ExportState(dst []float64) []float64 {
+	return append(dst, t.mss, t.rate, t.prevRTT, t.minRTT, t.gradient,
+		t.addStep, t.betaMul, t.tLow, t.tHigh, t.ewmaGain)
+}
+
+// ImportState implements core.SnapshotExporter.
+func (t *Timely) ImportState(src []float64) bool {
+	if len(src) != 10 {
+		return false
+	}
+	t.mss, t.rate, t.prevRTT, t.minRTT, t.gradient = src[0], src[1], src[2], src[3], src[4]
+	t.addStep, t.betaMul, t.tLow, t.tHigh, t.ewmaGain = src[5], src[6], src[7], src[8], src[9]
+	return true
+}

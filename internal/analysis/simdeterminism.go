@@ -30,8 +30,11 @@ var SimDeterminism = &Analyzer{
 }
 
 // deterministicPkgs are the final import-path segments this analyzer
-// applies to.
-var deterministicPkgs = []string{"netsim", "tcp", "nativecc", "experiments"}
+// applies to. supervise is here because the supervisor and standby must be
+// drivable entirely from a netsim.Clock — failover experiments replay
+// bit-identically only if the HA layer never reads the host clock or spawns
+// its own goroutines.
+var deterministicPkgs = []string{"netsim", "tcp", "nativecc", "experiments", "supervise"}
 
 // wallClockFuncs are time-package functions that read or wait on the host
 // clock.

@@ -42,6 +42,10 @@ type AgentStats struct {
 	// DupUrgents counts urgent events discarded because their sequence
 	// number had already been seen — a duplicated or reordered delivery.
 	DupUrgents int
+	// ResyncAdopts counts datapath resync Creates absorbed by a restored
+	// flow: after failover the datapath's CC state is intact, so the
+	// promoted agent adopts the channel instead of cold-rebuilding the flow.
+	ResyncAdopts int
 	// StaleReports counts measurements and vectors discarded because a newer
 	// report had already been processed.
 	StaleReports int
@@ -49,6 +53,10 @@ type AgentStats struct {
 	// messages they carried.
 	Batches     int
 	BatchedMsgs int
+	// Restores counts flows rebuilt from snapshots (standby promotion).
+	Restores int
+	// Heartbeats counts supervision probes echoed.
+	Heartbeats int
 }
 
 // Agent is the user-space congestion control plane: it multiplexes flows
@@ -62,6 +70,15 @@ type Agent struct {
 	mu    sync.Mutex
 	flows map[uint32]*flowState
 	stats AgentStats
+
+	// HA snapshot state (see snapshot.go). snapshotting turns on tombstone
+	// recording the first time SnapshotInto runs, so an agent nobody
+	// replicates never accumulates closed-flow history. The scratch fields
+	// make the steady-state snapshot pass allocation-free.
+	snapshotting bool
+	closedSIDs   []uint32
+	snapScratch  proto.Snapshot
+	sidScratch   []uint32
 
 	// Cached metrics instruments (detached no-ops when cfg.Metrics is nil),
 	// so the hot path never does a registry lookup.
@@ -87,6 +104,16 @@ type flowState struct {
 	// samples is vector-mode scratch, reused across reports (OnMeasurement
 	// must not retain it; see Measurement).
 	samples []PktSample
+	// Snapshot dirty tracking: snapped marks a state exported at least once;
+	// snapReports/snapUrgents are the flow's activity counters as of that
+	// export, so an idle flow is skipped by incremental snapshots.
+	snapped     bool
+	snapReports int
+	snapUrgents int
+	// restored marks a flow rebuilt from a snapshot whose datapath has not
+	// spoken to this agent yet; the first resync Create is adopted rather
+	// than treated as a datapath restart (see handleCreate).
+	restored bool
 }
 
 // staleSeq reports whether a datapath-stamped sequence number has already
@@ -177,6 +204,9 @@ func (a *Agent) handleLocked(m proto.Msg, reply func(proto.Msg) error) {
 			a.stats.StaleReports++
 			return
 		}
+		if st.flow.send == nil {
+			st.flow.send = reply // restored flow adopts its datapath lazily
+		}
 		a.stats.Measurements++
 		a.mReports.Inc()
 		st.flow.reports++
@@ -192,6 +222,9 @@ func (a *Agent) handleLocked(m proto.Msg, reply func(proto.Msg) error) {
 		if staleSeq(v.Seq, &st.lastReportSeq) {
 			a.stats.StaleReports++
 			return
+		}
+		if st.flow.send == nil {
+			st.flow.send = reply
 		}
 		a.stats.Vectors++
 		a.mReports.Inc()
@@ -217,6 +250,9 @@ func (a *Agent) handleLocked(m proto.Msg, reply func(proto.Msg) error) {
 			a.stats.DupUrgents++
 			return
 		}
+		if st.flow.send == nil {
+			st.flow.send = reply
+		}
 		a.stats.Urgents++
 		a.mUrgents.Inc()
 		st.flow.urgents++
@@ -231,9 +267,22 @@ func (a *Agent) handleLocked(m proto.Msg, reply func(proto.Msg) error) {
 			r.Release(st.flow)
 		}
 		delete(a.flows, v.SID)
+		if a.snapshotting && st.snapped {
+			a.closedSIDs = append(a.closedSIDs, v.SID)
+		}
 		a.stats.FlowsClosed++
 		a.mClosed.Inc()
 		a.mLiveFlows.Set(int64(len(a.flows)))
+	case *proto.Heartbeat:
+		// Supervision probe: echo it so the sender measures true
+		// request→response latency through this agent's dispatch path. The
+		// echo is a copy — v is decode scratch the reply must outlive.
+		a.stats.Heartbeats++
+		if reply != nil {
+			if err := reply(&proto.Heartbeat{SID: v.SID, Seq: v.Seq, SentAt: v.SentAt}); err != nil {
+				a.stats.Errors++
+			}
+		}
 	default:
 		a.stats.Errors++
 		a.logf("agent: unexpected message %T", m)
@@ -245,9 +294,30 @@ func (a *Agent) handleCreate(v *proto.Create, reply func(proto.Msg) error) {
 	// the flow would discard live algorithm state, so replays of the Create
 	// this state was built from are ignored. (A Create with a *different*
 	// Seq is a real resync and does rebuild the flow.)
-	if old, exists := a.flows[v.SID]; exists && v.Seq != 0 && v.Seq == old.createSeq {
-		a.stats.DupCreates++
-		return
+	if old, exists := a.flows[v.SID]; exists {
+		if v.Seq != 0 && v.Seq == old.createSeq {
+			a.stats.DupCreates++
+			return
+		}
+		if old.restored && v.Seq != 0 {
+			// Resync reaching a snapshot-restored flow: the datapath's CC
+			// state is intact (only the agent changed), so rebuilding would
+			// throw away the warm-restored algorithm for a cold start. Adopt
+			// instead: bind the channel, record the resync's Seq, and keep
+			// decision numbering ahead of the newest sequence the datapath
+			// has applied. The mark is sticky — a fallback-mode datapath
+			// resyncs every liveness tick with an advancing Seq, and each
+			// must adopt, not rebuild. A Seq-0 Create is a genuinely
+			// restarted datapath (fresh CC state) and takes the rebuild path
+			// below.
+			old.flow.send = reply
+			old.createSeq = v.Seq
+			if !proto.SeqNewer(old.flow.ctrlSeq, v.Seq) {
+				old.flow.ctrlSeq = v.Seq + ctrlSeqSkip
+			}
+			a.stats.ResyncAdopts++
+			return
+		}
 	}
 	name := v.Alg
 	if name == "" {

@@ -41,6 +41,9 @@ type Flow struct {
 	send   func(proto.Msg) error
 
 	installed *lang.Program
+	// progBytes is the wire encoding of installed, kept so snapshots carry
+	// the program without re-marshalling it per snapshot tick.
+	progBytes []byte
 	created   time.Duration
 
 	// ctrlSeq numbers outgoing control messages (Install, SetCwnd, SetRate)
@@ -70,6 +73,17 @@ func (f *Flow) nextSeq() uint32 {
 	return f.ctrlSeq
 }
 
+// emit transmits one agent→datapath message. A flow restored from a
+// snapshot has no channel until its datapath's first message reaches the
+// promoted agent (see Agent.RestoreFlow); decisions made before that are
+// dropped — the datapath keeps enforcing the last state it applied.
+func (f *Flow) emit(m proto.Msg) error {
+	if f.send == nil {
+		return nil
+	}
+	return f.send(m)
+}
+
 // Install sends a control program to the datapath, first rewriting it under
 // the flow's policy: every Rate expression is clamped with min(e, maxRate)
 // and every Cwnd expression with min(e, maxCwnd). Expression rewriting means
@@ -86,10 +100,11 @@ func (f *Flow) Install(p *lang.Program) error {
 	if err != nil {
 		return err
 	}
-	if err := f.send(&proto.Install{SID: f.Info.SID, Seq: f.nextSeq(), Prog: data}); err != nil {
+	if err := f.emit(&proto.Install{SID: f.Info.SID, Seq: f.nextSeq(), Prog: data}); err != nil {
 		return err
 	}
 	f.installed = clamped
+	f.progBytes = data
 	f.names = nil // report field names follow the installed program
 	return nil
 }
@@ -103,7 +118,7 @@ func (f *Flow) SetCwnd(bytes int) error {
 	if bytes < 0 {
 		bytes = 0
 	}
-	return f.send(&proto.SetCwnd{SID: f.Info.SID, Seq: f.nextSeq(), Bytes: uint32(bytes)})
+	return f.emit(&proto.SetCwnd{SID: f.Info.SID, Seq: f.nextSeq(), Bytes: uint32(bytes)})
 }
 
 // SetRate directly sets the pacing rate (bytes/sec), clamped by policy.
@@ -114,7 +129,7 @@ func (f *Flow) SetRate(bps float64) error {
 	if bps < 0 {
 		bps = 0
 	}
-	return f.send(&proto.SetRate{SID: f.Info.SID, Seq: f.nextSeq(), Bps: bps})
+	return f.emit(&proto.SetRate{SID: f.Info.SID, Seq: f.nextSeq(), Bps: bps})
 }
 
 // Backoff asks the flow's datapath to stretch its report interval by
@@ -127,7 +142,7 @@ func (f *Flow) Backoff(factor float64) error {
 	if factor < 1 {
 		factor = 1
 	}
-	return f.send(&proto.Backoff{SID: f.Info.SID, Factor: factor})
+	return f.emit(&proto.Backoff{SID: f.Info.SID, Factor: factor})
 }
 
 // Installed returns the most recently installed (policy-rewritten) program,

@@ -122,6 +122,11 @@ type Stats struct {
 	AgentGoneSignals int
 	HandoffRamps     int
 	BackoffsRecvd    int
+	// Heartbeat probing (LivenessConfig.ProbeInterval): probes sent, echoes
+	// received, and fallback exits granted by a recovered probe score.
+	ProbesSent  int
+	ProbeEchoes int
+	ProbeExits  int
 }
 
 // CCP is the datapath runtime for one flow. It implements
@@ -179,6 +184,17 @@ type CCP struct {
 	// waits under agent overload (1 or less: none).
 	handoffUntil  time.Duration
 	backoffFactor float64
+	// Heartbeat probe health scoring (failsafe.go): EWMA of probe round-trip
+	// latency in seconds, plus the oldest still-unanswered probe so silence
+	// degrades the score between echoes.
+	probeTimer   netsim.Timer
+	probeSeq     uint32
+	probeEWMA    float64
+	probeSamples int
+	unechoedSeq  uint32
+	unechoedAt   time.Duration
+	haveUnechoed bool
+	scratchHB    proto.Heartbeat
 
 	// Smooth window transitions (§3 future work).
 	cwndTarget  int
@@ -311,6 +327,10 @@ func (d *CCP) Close(c *tcp.Conn) {
 		d.liveTimer.Stop()
 		d.liveTimer = nil
 	}
+	if d.probeTimer != nil {
+		d.probeTimer.Stop()
+		d.probeTimer = nil
+	}
 	if d.smoothTimer != nil {
 		d.smoothTimer.Stop()
 		d.smoothTimer = nil
@@ -423,6 +443,10 @@ func (d *CCP) Deliver(m proto.Msg) {
 		// Overload degradation signal, not a control decision: it never
 		// resets the liveness clocks.
 		d.handleBackoff(v)
+	case *proto.Heartbeat:
+		// Echoed supervision probe (failsafe.go): feeds the EWMA health
+		// score, never the control staleness clocks.
+		d.handleHeartbeat(v)
 	default:
 		// Anything else on the control channel is noise (corruption that
 		// happened to decode, or a confused agent); ignore it and do not
@@ -859,11 +883,12 @@ func (d *CCP) smoothStep() {
 
 func (d *CCP) touchAgent() {
 	d.lastAgentMsg = d.cfg.Clock.Now()
-	if d.fallbackActive && !d.agentGone {
+	if d.fallbackActive && !d.agentGone && d.exitGateOK() {
 		// Resume the installed program from the top (with a handoff ramp
 		// under the liveness layer; see failsafe.go). While the transport
 		// still reports the agent gone, a straggling queued decision does
-		// not exit fallback.
+		// not exit fallback; with probing enabled, neither does a decision
+		// arriving while the probe score is still unhealthy (hysteresis).
 		d.exitFallback()
 	}
 }

@@ -55,6 +55,21 @@ type LivenessConfig struct {
 	// MaxBackoff caps the report-interval stretch factor accepted from
 	// overloaded-agent Backoff messages (default 8).
 	MaxBackoff float64
+	// ProbeInterval enables heartbeat probing: every interval the datapath
+	// sends a proto.Heartbeat that a healthy agent echoes, and the measured
+	// request→response latency feeds an EWMA health score with enter/exit
+	// hysteresis. This closes the staleness budget's blind spot — a
+	// *uniformly slow* agent is a pipeline, so its decisions arrive at the
+	// normal cadence (staleness never trips) while every decision is based
+	// on stale state; only a round-trip probe sees the true lag. 0 disables
+	// probing, leaving the budget-only behaviour bit-identical.
+	ProbeInterval time.Duration
+	// ExitLatencyFraction sets the exit threshold of the hysteresis band as
+	// a fraction of StalenessBudget (default 0.5): once in fallback, the
+	// flow returns to agent control only when the probe EWMA is below
+	// fraction×budget, so a marginally-slow agent converges to one clean
+	// fallback entry instead of flapping in and out.
+	ExitLatencyFraction float64
 }
 
 func (lc LivenessConfig) on() bool { return lc.StalenessBudget > 0 }
@@ -83,6 +98,25 @@ func (lc LivenessConfig) maxBackoff() float64 {
 	}
 	return lc.MaxBackoff
 }
+
+func (lc LivenessConfig) probesOn() bool { return lc.on() && lc.ProbeInterval > 0 }
+
+// exitLatency is the healthy threshold of the hysteresis band.
+func (lc LivenessConfig) exitLatency() time.Duration {
+	fr := lc.ExitLatencyFraction
+	if fr <= 0 {
+		fr = 0.5
+	}
+	if fr > 1 {
+		fr = 1
+	}
+	return time.Duration(float64(lc.StalenessBudget) * fr)
+}
+
+// probeAlpha is the EWMA gain of the probe latency filter: heavy enough
+// that a handful of healthy echoes after a heal crosses the exit threshold
+// within a few probe intervals, light enough that one jittered echo cannot.
+const probeAlpha = 0.3
 
 // Staleness reports the virtual time since the last applied control message
 // of each kind (Install, SetCwnd, SetRate), and since any of them. A kind
@@ -140,12 +174,113 @@ func (d *CCP) touchCtrl(t proto.MsgType) {
 }
 
 // armLiveness starts the periodic staleness evaluation (the liveness
-// layer's replacement for armWatchdog).
+// layer's replacement for armWatchdog) and, when configured, the heartbeat
+// probe loop.
 func (d *CCP) armLiveness() {
 	d.lastInstallAt = d.lastAgentMsg
 	d.lastCwndAt = d.lastAgentMsg
 	d.lastRateAt = d.lastAgentMsg
 	d.scheduleLiveness()
+	if d.cfg.Liveness.probesOn() {
+		d.scheduleProbe()
+	}
+}
+
+// scheduleProbe runs the heartbeat loop: each tick folds the age of the
+// oldest still-unanswered probe into the health score (so a dead or paused
+// agent drives the EWMA up even though no echoes arrive), sends a fresh
+// probe, and applies the hysteresis entry edge. Probes keep flowing while
+// in fallback — a healthy echo stream is the exit signal (see
+// handleHeartbeat; after a heal, the datapath's periodic Resyncs are
+// dup-dropped by an agent that never lost the flow, so no fresh decision
+// may ever arrive to exit on).
+func (d *CCP) scheduleProbe() {
+	d.probeTimer = d.cfg.Clock.AfterFunc(d.cfg.Liveness.ProbeInterval, func() {
+		now := d.cfg.Clock.Now()
+		if d.haveUnechoed {
+			d.foldProbeSample(now - d.unechoedAt)
+		}
+		d.probeSeq++
+		if d.probeSeq == 0 {
+			d.probeSeq = 1
+		}
+		if !d.haveUnechoed {
+			d.haveUnechoed = true
+			d.unechoedSeq = d.probeSeq
+			d.unechoedAt = now
+		}
+		d.stats.ProbesSent++
+		d.scratchHB = proto.Heartbeat{SID: d.cfg.SID, Seq: d.probeSeq, SentAt: now.Seconds()}
+		d.send(&d.scratchHB)
+		// Entry edge for the blind-spot case: control decisions still arrive
+		// at the normal cadence (lastAgentMsg stays fresh) but every round
+		// trip is slower than the budget — the flow is effectively
+		// uncontrolled and belongs in fallback.
+		if !d.fallbackActive && !d.agentGone && d.probeSamples > 0 &&
+			d.probeEWMA > d.cfg.Liveness.StalenessBudget.Seconds() {
+			d.enterFallback(true)
+		}
+		d.scheduleProbe()
+	})
+}
+
+// foldProbeSample feeds one latency observation (an echo round trip, or the
+// age of an unanswered probe) into the EWMA health score. Samples are
+// clamped at twice the budget so a long outage saturates the score instead
+// of poisoning the post-heal decay.
+func (d *CCP) foldProbeSample(lat time.Duration) {
+	s := lat.Seconds()
+	if s < 0 {
+		s = 0
+	}
+	if cap := 2 * d.cfg.Liveness.StalenessBudget.Seconds(); s > cap {
+		s = cap
+	}
+	if d.probeSamples == 0 {
+		d.probeEWMA = s
+	} else {
+		d.probeEWMA = (1-probeAlpha)*d.probeEWMA + probeAlpha*s
+	}
+	d.probeSamples++
+}
+
+// probeHealthy reports whether the EWMA latency is inside the exit band.
+func (d *CCP) probeHealthy() bool {
+	return d.probeSamples > 0 && d.probeEWMA < d.cfg.Liveness.exitLatency().Seconds()
+}
+
+// exitGateOK is the hysteresis exit gate consulted by touchAgent: with
+// probing off every applied fresh decision exits fallback (the PR 6 rule);
+// with probing on the probe score must also be healthy, so a slow agent's
+// late-but-sequenced decisions cannot flap the flow out of fallback.
+func (d *CCP) exitGateOK() bool {
+	if !d.cfg.Liveness.probesOn() {
+		return true
+	}
+	return d.probeHealthy()
+}
+
+// handleHeartbeat processes an echoed probe: measure the round trip, clear
+// the unanswered-probe tracker, and exit fallback if the score has
+// recovered. Echoes are advisory like Backoff — they never reset the
+// control staleness clocks.
+func (d *CCP) handleHeartbeat(v *proto.Heartbeat) {
+	if !d.cfg.Liveness.probesOn() {
+		d.stats.UnexpectedMsgs++
+		return
+	}
+	d.stats.ProbeEchoes++
+	d.foldProbeSample(d.cfg.Clock.Now() - secsToDur(v.SentAt))
+	if !d.haveUnechoed || v.Seq == d.unechoedSeq || proto.SeqNewer(v.Seq, d.unechoedSeq) {
+		d.haveUnechoed = false
+	}
+	if d.fallbackActive && !d.agentGone && d.probeHealthy() {
+		d.stats.ProbeExits++
+		// touchAgent applies the exit (resetting the staleness clock too, so
+		// the budget does not immediately re-trip on the pre-outage
+		// lastAgentMsg).
+		d.touchAgent()
+	}
 }
 
 func (d *CCP) scheduleLiveness() {

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestAblHAWarmKillRecovery(t *testing.T) {
+	// The acceptance scenario: agent killed mid-run with an established flow
+	// in flight. Warm standby must resolve the kill by promotion — no
+	// datapath fallback entry (so no multiplicative-decrease replay), warm
+	// state restored, and a fresh algorithm decision applied within 4 RTTs
+	// of promotion.
+	warm := runHACell("kill", "warm")
+	if warm.Failovers != 1 {
+		t.Fatalf("failovers = %d, want exactly 1: %+v", warm.Failovers, warm)
+	}
+	if warm.FallbackOnA != 0 || warm.FallbackOnB != 0 {
+		t.Fatalf("datapath entered fallback despite warm failover: %+v", warm)
+	}
+	if warm.Restores == 0 {
+		t.Fatalf("promoted agent restored no flows — cold start, not warm standby: %+v", warm)
+	}
+	if warm.FreshDecisionRTTs <= 0 || warm.FreshDecisionRTTs > 4 {
+		t.Fatalf("fresh decision after %.1f RTTs, want within (0, 4]: %+v",
+			warm.FreshDecisionRTTs, warm)
+	}
+	if warm.UtilNewborn < 0.40 {
+		t.Fatalf("newborn flow under promoted agent at %.1f%% util", warm.UtilNewborn*100)
+	}
+
+	fb := runHACell("kill", "fallback")
+	if fb.FallbackOnA < 1 {
+		t.Fatalf("fallback-only spanning flow never entered fallback: %+v", fb)
+	}
+	// The headline utilization claim: for a flow spanning the kill, warm
+	// standby beats the fallback arm's MD-replay-then-AIMD recovery.
+	if warm.UtilSpanning <= fb.UtilSpanning {
+		t.Fatalf("warm standby did not beat fallback for the spanning flow: warm %.1f%% vs fallback %.1f%%",
+			warm.UtilSpanning*100, fb.UtilSpanning*100)
+	}
+}
+
+func TestAblHAWarmHandlesPauseAndSlow(t *testing.T) {
+	// Pause and slowdown are liveness failures too: the supervisor's miss
+	// counting (pause) and latency EWMA (slow) both trip, and in each case
+	// promotion replaces the sick process before the staleness budget does.
+	for _, fault := range []string{"pause", "slow"} {
+		c := runHACell(fault, "warm")
+		if c.Failovers != 1 {
+			t.Fatalf("%s: failovers = %d, want 1: %+v", fault, c.Failovers, c)
+		}
+		if c.FallbackOnA != 0 || c.FallbackOnB != 0 {
+			t.Fatalf("%s: fallback engaged despite warm failover: %+v", fault, c)
+		}
+		if c.UtilAfter < 0.80 {
+			t.Fatalf("%s: combined util after promotion %.1f%% < 80%%", fault, c.UtilAfter*100)
+		}
+	}
+}
+
+func TestAblHANoneStrandsNewborn(t *testing.T) {
+	// Without any liveness layer the newborn flow is pinned at InitCwnd for
+	// the whole outage — the stall the fail-safe and HA layers exist to fix.
+	c := runHACell("kill", "none")
+	if c.UtilNewborn > 0.40 {
+		t.Fatalf("no-liveness newborn at %.1f%% util: expected a stall", c.UtilNewborn*100)
+	}
+	if c.FallbackOnA != 0 || c.FallbackOnB != 0 || c.Failovers != 0 {
+		t.Fatalf("recovery machinery ran in the none arm: %+v", c)
+	}
+}
+
+func TestAblHADeterministic(t *testing.T) {
+	a := runHACell("kill", "warm")
+	b := runHACell("kill", "warm")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("ha cell not deterministic:\n a: %+v\n b: %+v", a, b)
+	}
+}
+
+func TestAblHAStringRenders(t *testing.T) {
+	r := AblHAResult{Cells: []HACell{{
+		Fault: "kill", Mode: "warm", UtilSpanning: 0.93, Failovers: 1,
+		FreshDecisionRTTs: 1.5,
+	}}}
+	out := r.String()
+	for _, want := range []string{"high availability", "kill", "warm", "93.0%", "1.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

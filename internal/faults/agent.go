@@ -169,10 +169,14 @@ func (a *AgentInjector) Kill() {
 }
 
 // Restart brings the agent back as inner — a *fresh* instance when modeling
-// a process restart (no flow state survives a real crash), or the same one
-// to model a brief hang the supervisor resolved. The injector returns to
-// healthy passthrough.
+// a process restart (no flow state survives a real crash), a standby
+// promoted by the supervisor, or the same one to model a brief hang the
+// supervisor resolved. The injector returns to healthy passthrough.
+// Anything a pause was holding dies with the replaced process (replaying it
+// into the replacement would deliver another agent's backlog out of order).
 func (a *AgentInjector) Restart(inner AgentHandler) {
+	a.stats.DroppedOnKill += len(a.held)
+	a.held = nil
 	a.inner = inner
 	a.gen++
 	a.mode = AgentHealthy

@@ -15,6 +15,7 @@ import (
 	"github.com/ccp-repro/ccp/internal/faults"
 	"github.com/ccp-repro/ccp/internal/metrics"
 	"github.com/ccp-repro/ccp/internal/netsim"
+	"github.com/ccp-repro/ccp/internal/supervise"
 	"github.com/ccp-repro/ccp/internal/tcp"
 )
 
@@ -49,6 +50,10 @@ type Config struct {
 	// Metrics, when non-nil, is threaded into the agent and every CCP flow's
 	// datapath runtime, so one registry observes the whole deployment.
 	Metrics *metrics.Registry
+	// HA, when non-nil, deploys the high-availability layer: warm-standby
+	// replication plus a supervisor that promotes the standby on agent
+	// failure. Requires AgentFaults. See HAConfig.
+	HA *HAConfig
 }
 
 // Net is a running deployment.
@@ -65,10 +70,16 @@ type Net struct {
 	// AgentInj is set when Config.AgentFaults was given; the bridge delivers
 	// to it instead of directly to Agent.
 	AgentInj *faults.AgentInjector
+	// Standby and Supervisor are set when Config.HA was given. After a
+	// failover, Agent points at the promoted standby.
+	Standby    *supervise.Standby
+	Supervisor *supervise.Supervisor
 
-	metrics  *metrics.Registry
-	agentCfg core.AgentConfig
-	nextSID  uint32
+	metrics    *metrics.Registry
+	agentCfg   core.AgentConfig
+	nextSID    uint32
+	haInterval time.Duration
+	haPrimed   bool
 }
 
 // New builds a deployment; panics on misconfiguration (tests and
@@ -121,6 +132,9 @@ func New(cfg Config) *Net {
 	n.Bridge = bridge.New(sim, sink, cfg.IPCLatency)
 	if cfg.Faults != nil {
 		n.FaultBridge = faults.NewBridge(sim, n.Bridge, *cfg.Faults)
+	}
+	if cfg.HA != nil {
+		n.startHA(*cfg.HA)
 	}
 	return n
 }

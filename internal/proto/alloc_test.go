@@ -88,6 +88,36 @@ func TestAllocsBatchRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAllocsSnapshotRoundTrip pins the HA replication path: a primary
+// streaming periodic snapshots and a standby decoding them must not touch
+// the heap per message once warmed up. The decoder's string interning
+// (identity fields repeat every snapshot) is what makes the decode side
+// zero-alloc; this is the regression test for it.
+func TestAllocsSnapshotRoundTrip(t *testing.T) {
+	m := &proto.Snapshot{
+		SID: 7, Installed: true, MSS: 1448, InitCwnd: 14480,
+		CtrlSeq: 93, CreateSeq: 2, ReportSeq: 1204, UrgentSeq: 3,
+		SrcAddr: "10.0.0.1:4242", DstAddr: "10.0.0.2:80", Alg: "cubic",
+		Prog:  []byte{0xCC, 1, 0, 1, 0x14, 0},
+		State: []float64{14480, 65535, 2.5, 0.01, 1.2e6, 0, 0.25},
+	}
+	buf := make([]byte, 0, 256)
+	var dec proto.Decoder
+	var encErr, decErr error
+	requireZeroAllocs(t, "snapshot round trip", func() {
+		var b []byte
+		b, encErr = proto.AppendMarshal(buf[:0], m)
+		if encErr != nil {
+			return
+		}
+		m.CtrlSeq++ // sequence advances between snapshots; identity repeats
+		_, decErr = dec.Unmarshal(b)
+	})
+	if encErr != nil || decErr != nil {
+		t.Fatalf("round trip failed: enc=%v dec=%v", encErr, decErr)
+	}
+}
+
 // TestAllocsDecodeReuseIndependentResults checks that the zero-alloc reuse
 // does not corrupt results: two decodes on the same Decoder yield values that
 // match fresh decodes, message by message.

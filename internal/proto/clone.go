@@ -36,6 +36,14 @@ func Clone(m Msg) Msg {
 	case *Backoff:
 		c := *v
 		return &c
+	case *Snapshot:
+		c := *v
+		c.Prog = append([]byte(nil), v.Prog...)
+		c.State = append([]float64(nil), v.State...)
+		return &c
+	case *Heartbeat:
+		c := *v
+		return &c
 	case *Batch:
 		c := Batch{Msgs: make([]Msg, len(v.Msgs))}
 		for i, sub := range v.Msgs {

@@ -33,9 +33,12 @@ type Decoder struct {
 	cwnds    []SetCwnd
 	rates    []SetRate
 	backoffs []Backoff
+	snaps    []Snapshot
+	hbs      []Heartbeat
 	batch    Batch
 
 	nCreate, nMeas, nVec, nUrgent, nClose, nInstall, nCwnd, nRate, nBackoff int
+	nSnap, nHB                                                              int
 
 	// sub is the cursor for decoding batch sub-messages. It lives on the
 	// Decoder rather than the stack because the recursive decode call defeats
@@ -51,6 +54,7 @@ type Decoder struct {
 func (dec *Decoder) Unmarshal(data []byte) (Msg, error) {
 	dec.nCreate, dec.nMeas, dec.nVec, dec.nUrgent = 0, 0, 0, 0
 	dec.nClose, dec.nInstall, dec.nCwnd, dec.nRate, dec.nBackoff = 0, 0, 0, 0, 0
+	dec.nSnap, dec.nHB = 0, 0
 	d := decoder{data: data}
 	m, err := dec.decode(&d, true)
 	if err != nil {
@@ -141,6 +145,42 @@ func (dec *Decoder) decode(d *decoder, allowBatch bool) (Msg, error) {
 		if d.err == nil && (v.Factor < 1 || v.Factor > 1e6 || v.Factor != v.Factor) {
 			return nil, fmt.Errorf("proto: invalid backoff factor %v", v.Factor)
 		}
+		return v, nil
+	case TypeSnapshot:
+		v := dec.nextSnap()
+		if ver := d.byte(); d.err == nil && ver != SnapshotVersion {
+			return nil, fmt.Errorf("proto: unsupported snapshot version %d", ver)
+		}
+		v.SID = d.u32()
+		fl := d.byte()
+		if d.err == nil && fl&^(snapFlagClosed|snapFlagInstalled) != 0 {
+			return nil, fmt.Errorf("proto: unknown snapshot flags %#x", fl)
+		}
+		v.Closed = fl&snapFlagClosed != 0
+		v.Installed = fl&snapFlagInstalled != 0
+		v.MSS, v.InitCwnd = d.u32(), d.u32()
+		v.CtrlSeq, v.CreateSeq = d.u32(), d.u32()
+		v.ReportSeq, v.UrgentSeq = d.u32(), d.u32()
+		v.SrcAddr = d.strInto(v.SrcAddr)
+		v.DstAddr = d.strInto(v.DstAddr)
+		v.Alg = d.strInto(v.Alg)
+		n := d.length(maxProgramSize, 1)
+		// Aliases the input, matching the Install.Prog rule.
+		v.Prog = d.view(n)
+		n = d.length(maxSnapStateLen, 8)
+		v.State = v.State[:0]
+		if d.err == nil && n > 0 {
+			if cap(v.State) < n {
+				v.State = make([]float64, 0, n)
+			}
+			for i := 0; i < n; i++ {
+				v.State = append(v.State, d.f64())
+			}
+		}
+		return v, nil
+	case TypeHeartbeat:
+		v := dec.nextHeartbeat()
+		v.SID, v.Seq, v.SentAt = d.u32(), d.u32(), d.f64()
 		return v, nil
 	case TypeBatch:
 		if !allowBatch {
@@ -257,5 +297,23 @@ func (dec *Decoder) nextBackoff() *Backoff {
 	}
 	v := &dec.backoffs[dec.nBackoff]
 	dec.nBackoff++
+	return v
+}
+
+func (dec *Decoder) nextSnap() *Snapshot {
+	if dec.nSnap == len(dec.snaps) {
+		dec.snaps = append(dec.snaps, Snapshot{})
+	}
+	v := &dec.snaps[dec.nSnap]
+	dec.nSnap++
+	return v
+}
+
+func (dec *Decoder) nextHeartbeat() *Heartbeat {
+	if dec.nHB == len(dec.hbs) {
+		dec.hbs = append(dec.hbs, Heartbeat{})
+	}
+	v := &dec.hbs[dec.nHB]
+	dec.nHB++
 	return v
 }

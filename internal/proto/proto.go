@@ -41,6 +41,8 @@ const (
 	TypeSetRate
 	TypeBatch
 	TypeBackoff
+	TypeSnapshot
+	TypeHeartbeat
 )
 
 func (t MsgType) String() string {
@@ -65,6 +67,10 @@ func (t MsgType) String() string {
 		return "Batch"
 	case TypeBackoff:
 		return "Backoff"
+	case TypeSnapshot:
+		return "Snapshot"
+	case TypeHeartbeat:
+		return "Heartbeat"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -348,6 +354,42 @@ func AppendMarshal(dst []byte, m Msg) ([]byte, error) {
 		}
 		b = binary.LittleEndian.AppendUint32(b, v.SID)
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Factor))
+	case *Snapshot:
+		if len(v.Prog) > maxProgramSize {
+			return nil, fmt.Errorf("proto: snapshot program too large (%d bytes)", len(v.Prog))
+		}
+		if len(v.State) > maxSnapStateLen {
+			return nil, fmt.Errorf("proto: snapshot state too large (%d registers)", len(v.State))
+		}
+		b = append(b, SnapshotVersion)
+		b = binary.LittleEndian.AppendUint32(b, v.SID)
+		b = append(b, v.flags())
+		b = binary.LittleEndian.AppendUint32(b, v.MSS)
+		b = binary.LittleEndian.AppendUint32(b, v.InitCwnd)
+		b = binary.LittleEndian.AppendUint32(b, v.CtrlSeq)
+		b = binary.LittleEndian.AppendUint32(b, v.CreateSeq)
+		b = binary.LittleEndian.AppendUint32(b, v.ReportSeq)
+		b = binary.LittleEndian.AppendUint32(b, v.UrgentSeq)
+		var err error
+		if b, err = appendStr(b, v.SrcAddr); err != nil {
+			return nil, err
+		}
+		if b, err = appendStr(b, v.DstAddr); err != nil {
+			return nil, err
+		}
+		if b, err = appendStr(b, v.Alg); err != nil {
+			return nil, err
+		}
+		b = binary.AppendUvarint(b, uint64(len(v.Prog)))
+		b = append(b, v.Prog...)
+		b = binary.AppendUvarint(b, uint64(len(v.State)))
+		for _, f := range v.State {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+		}
+	case *Heartbeat:
+		b = binary.LittleEndian.AppendUint32(b, v.SID)
+		b = binary.LittleEndian.AppendUint32(b, v.Seq)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.SentAt))
 	case *Batch:
 		if len(v.Msgs) > maxBatchMsgs {
 			return nil, fmt.Errorf("proto: batch too large (%d messages)", len(v.Msgs))
@@ -482,6 +524,25 @@ func (d *decoder) str() string {
 	s := string(d.data[d.pos : d.pos+n])
 	d.pos += n
 	return s
+}
+
+// strInto decodes a length-prefixed string, returning prev unchanged when
+// the wire bytes match it. A Decoder whose scratch element retains the
+// previous decode's strings (flow identity fields repeat every snapshot)
+// therefore reaches a zero-allocation steady state; the comparison itself
+// does not allocate.
+func (d *decoder) strInto(prev string) string {
+	n := int(d.byte())
+	if d.err != nil || d.pos+n > len(d.data) {
+		d.fail()
+		return ""
+	}
+	b := d.data[d.pos : d.pos+n]
+	d.pos += n
+	if string(b) == prev {
+		return prev
+	}
+	return string(b)
 }
 
 func appendStr(b []byte, s string) ([]byte, error) {

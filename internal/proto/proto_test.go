@@ -32,6 +32,13 @@ func sampleMsgs() []Msg {
 			&Urgent{SID: 1, Seq: 9, Kind: UrgentDupAck, Value: 1448},
 		}},
 		&Batch{},
+		&Snapshot{SID: 12, Installed: true, MSS: 1448, InitCwnd: 14480,
+			CtrlSeq: 77, CreateSeq: 3, ReportSeq: 200, UrgentSeq: 5,
+			SrcAddr: "10.0.0.1:4242", DstAddr: "10.0.0.2:80", Alg: "cubic",
+			Prog:  []byte{0xCC, 1, 0, 1, 0x14, 0},
+			State: []float64{14480, 65535, 2.5, 0.01}},
+		&Snapshot{SID: 13, Closed: true},
+		&Heartbeat{SID: 0, Seq: 9, SentAt: 1.25},
 	}
 }
 
@@ -52,6 +59,14 @@ func TestRoundTripAll(t *testing.T) {
 		if v, ok := got.(*Install); ok && len(v.Prog) == 0 {
 			v.Prog = nil
 		}
+		if v, ok := got.(*Snapshot); ok {
+			if len(v.Prog) == 0 {
+				v.Prog = nil
+			}
+			if len(v.State) == 0 {
+				v.State = nil
+			}
+		}
 		if !reflect.DeepEqual(m, got) {
 			t.Fatalf("round trip mismatch:\n in:  %#v\n out: %#v", m, got)
 		}
@@ -63,7 +78,7 @@ func TestTypeAndSID(t *testing.T) {
 		TypeCreate, TypeCreate, TypeCreate, TypeMeasurement, TypeMeasurement,
 		TypeVector, TypeUrgent, TypeUrgent, TypeUrgent, TypeClose, TypeInstall,
 		TypeInstall, TypeSetCwnd, TypeSetRate, TypeBackoff, TypeBackoff,
-		TypeBatch, TypeBatch,
+		TypeBatch, TypeBatch, TypeSnapshot, TypeSnapshot, TypeHeartbeat,
 	}
 	for i, m := range sampleMsgs() {
 		if m.Type() != wantTypes[i] {

@@ -458,4 +458,30 @@ func addAgentStats(dst *core.AgentStats, s core.AgentStats) {
 	dst.StaleReports += s.StaleReports
 	dst.Batches += s.Batches
 	dst.BatchedMsgs += s.BatchedMsgs
+	dst.Restores += s.Restores
+	dst.Heartbeats += s.Heartbeats
+	dst.ResyncAdopts += s.ResyncAdopts
+}
+
+// SnapshotInto streams every shard's flow state through sink (see
+// core.Agent.SnapshotInto for the contract: the snapshot is scratch, clone
+// to retain; full=false emits only the incremental delta). Shards are
+// visited in index order, and each shard emits its flows in ascending SID
+// order, so the stream is deterministic given quiescent shards. It is safe
+// against concurrent dispatch — each shard agent's own lock serializes the
+// export against that shard's message processing, and a flow mutated
+// mid-pass is simply picked up by the next incremental round.
+func (r *Runtime) SnapshotInto(full bool, sink func(*proto.Snapshot) error) (int, error) {
+	if r.inline != nil {
+		return r.inline.SnapshotInto(full, sink)
+	}
+	total := 0
+	for _, sh := range r.shards {
+		n, err := sh.agent.SnapshotInto(full, sink)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }

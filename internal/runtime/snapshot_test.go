@@ -1,0 +1,164 @@
+package runtime_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/ccp-repro/ccp/internal/proto"
+	"github.com/ccp-repro/ccp/internal/runtime"
+	"github.com/ccp-repro/ccp/internal/supervise"
+)
+
+func TestSnapshotIntoAggregatesShards(t *testing.T) {
+	rt, err := runtime.New(runtime.Config{Shards: 4, Agent: agentCfg(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	reply := func(proto.Msg) error { return nil }
+	const flows = 10
+	for i := 1; i <= flows; i++ {
+		rt.HandleMessage(&proto.Create{SID: uint32(i), MSS: 1448, InitCwnd: 14480}, reply)
+	}
+	rt.Drain()
+
+	seen := map[uint32]bool{}
+	var mu sync.Mutex
+	n, err := rt.SnapshotInto(true, func(s *proto.Snapshot) error {
+		mu.Lock()
+		seen[s.SID] = true
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != flows || len(seen) != flows {
+		t.Fatalf("snapshot pass emitted %d (distinct %d), want %d", n, len(seen), flows)
+	}
+	// A second incremental pass over quiescent flows emits nothing.
+	n, err = rt.SnapshotInto(false, func(*proto.Snapshot) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("incremental pass over idle flows emitted %d, want 0", n)
+	}
+}
+
+// The HA snapshot pump runs against a live sharded runtime, so a snapshot
+// pass must be safe while shards are shedding reports (Backoffs in flight
+// on reply paths) and while the flow table churns — and the state it
+// captures mid-storm must still promote into a working replacement agent,
+// which is exactly what a shard restart does. The -race lane is the real
+// assertion here; see `make test-race-robust`.
+func TestRaceShardRestartDuringShedding(t *testing.T) {
+	gate := make(chan struct{})
+	rt, err := runtime.New(runtime.Config{
+		Shards:        4,
+		Agent:         agentCfg(gate),
+		MailboxSize:   8,
+		ShedWatermark: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := func(proto.Msg) error { return nil }
+	const flows = 16
+	for i := 1; i <= flows; i++ {
+		rt.HandleMessage(&proto.Create{SID: uint32(i), MSS: 1448, InitCwnd: 14480}, reply)
+	}
+	rt.Drain()
+
+	stop := make(chan struct{})
+	// Feeder: drip processing tokens so the shards crawl — mailboxes stay
+	// near the watermark and shedding stays continuously active.
+	var feedWG sync.WaitGroup
+	feedWG.Add(1)
+	go func() {
+		defer feedWG.Done()
+		for {
+			select {
+			case gate <- struct{}{}:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	// Producers: pour sequenced reports over every flow. Shedding evicts
+	// older reports to admit these, sending proto.Backoff on our reply path
+	// concurrently with everything else.
+	var prodWG sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			for seq := uint32(1); seq <= 50; seq++ {
+				for i := 1; i <= flows; i++ {
+					rt.HandleMessage(&proto.Measurement{
+						SID: uint32(i), Seq: seq + uint32(p)*50, Fields: []float64{1},
+					}, reply)
+				}
+			}
+		}(p)
+	}
+	// Replicator: snapshot passes race the producers and the shard loops;
+	// the standby keeps whatever the last pass saw.
+	sb := supervise.NewStandby()
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		full := true
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := rt.SnapshotInto(full, func(s *proto.Snapshot) error {
+				sb.Apply(s)
+				return nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+			full = false
+		}
+	}()
+
+	prodWG.Wait()
+	close(stop)
+	feedWG.Wait()
+	// Unwedge before waiting on the replicator: a snapshot pass already in
+	// flight blocks on a shard agent's lock, which the shard only drops once
+	// its gated OnMeasurement returns.
+	close(gate)
+	snapWG.Wait()
+	rt.Drain()
+
+	// One final quiescent pass so the standby holds every live flow, then
+	// "restart the shards": promote the standby into a fresh agent.
+	if _, err := rt.SnapshotInto(true, func(s *proto.Snapshot) error {
+		sb.Apply(s)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+
+	st := rt.Stats()
+	if st.ReportsShed == 0 || st.BackoffsSent == 0 {
+		t.Fatalf("the race never exercised shedding: %+v", st)
+	}
+	promoted, err := sb.Promote(agentCfg(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := promoted.FlowCount(); got != flows {
+		t.Fatalf("promoted agent has %d flows, want %d", got, flows)
+	}
+	if got := promoted.Stats().Restores; got != flows {
+		t.Fatalf("restores = %d, want %d", got, flows)
+	}
+}
