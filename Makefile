@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-scale bench-hotpath benchstat test-allocs test-debugpool test-race-robust test-ha vet lint fmt check fuzz-smoke examples experiments clean
+.PHONY: all build test test-short bench bench-scale bench-scale-smoke bench-hotpath benchstat test-allocs test-debugpool test-race-robust test-ha vet lint fmt check fuzz-smoke examples experiments clean
 
 all: build test
 
@@ -22,11 +22,21 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(MAKE) bench-scale
 
-# Flow-scale benchmark (1→1000 flows through the sharded runtime). The
-# default seed is fixed, so BENCH_scale.json is deterministic up to
-# machine-dependent timing fields.
+# Flow-scale benchmark (1k→100k flows over shared-memory rings served by
+# one multiplexed goroutine). The default seed is fixed, so BENCH_scale.json
+# is deterministic up to machine-dependent timing fields. This is the
+# committed configuration; expect a few minutes of wall clock at 100k flows.
 bench-scale:
-	$(GO) run ./cmd/ccp-loadgen -json BENCH_scale.json
+	$(GO) run ./cmd/ccp-loadgen -transport shmring -conns 4 -outstanding 256 \
+		-interval 200us -gogc 800 -flows 1000,10000,50000,100000 -reports 20 \
+		-timeout 600s -json BENCH_scale.json -validate
+
+# CI smoke for the loadgen pipeline: tiny flow counts through the same
+# shmring lane, then re-parse the JSON output and assert populated rows.
+bench-scale-smoke:
+	$(GO) run ./cmd/ccp-loadgen -transport shmring -conns 2 -outstanding 16 \
+		-flows 1,16,64 -reports 10 -timeout 120s \
+		-json /tmp/bench_scale_smoke.json -validate
 
 # Hot-path before/after comparison (wire codec and simulator event queue);
 # regenerates the committed BENCH_hotpath.json.
@@ -39,7 +49,7 @@ bench-hotpath:
 benchstat:
 	@if command -v benchstat >/dev/null 2>&1; then \
 		$(GO) test -run='^$$' -bench=. -benchmem -count=5 \
-			./internal/proto ./internal/netsim > bench/current.txt && \
+			./internal/proto ./internal/netsim ./internal/ipc/shmring > bench/current.txt && \
 		benchstat bench/baseline.txt bench/current.txt; \
 	else \
 		echo "benchstat not installed; skipping comparison."; \
@@ -52,7 +62,7 @@ benchstat:
 # in a separate non-race pass.
 test-allocs:
 	$(GO) test -run 'TestAllocs' -count=1 \
-		./internal/proto ./internal/netsim ./internal/lang
+		./internal/proto ./internal/netsim ./internal/lang ./internal/ipc/shmring
 
 # Robustness lane: the concurrent packages (sharded runtime, socket link,
 # transports, fault injectors, datapath fail-safe) twice under the race
@@ -60,8 +70,8 @@ test-allocs:
 # state; CI runs this as its own job.
 test-race-robust:
 	$(GO) test -race -count=2 ./internal/runtime/ ./internal/harness/ \
-		./internal/ipc/ ./internal/bridge/ ./internal/faults/ \
-		./internal/datapath/ ./internal/supervise/
+		./internal/ipc/ ./internal/ipc/shmring/ ./internal/bridge/ \
+		./internal/faults/ ./internal/datapath/ ./internal/supervise/
 
 # High-availability lane: the supervise package (failure detector, warm
 # standby, wire replication), the harness failover path and probe-gated
@@ -92,8 +102,8 @@ lint:
 # with the checker compiled in.
 test-debugpool:
 	$(GO) test -tags debugpool ./internal/bufpool ./internal/proto \
-		./internal/ipc ./internal/harness ./internal/bridge \
-		./internal/runtime ./internal/core
+		./internal/ipc ./internal/ipc/shmring ./internal/harness \
+		./internal/bridge ./internal/runtime ./internal/core
 
 # Pre-merge gate: vet, the invariant analyzers, the race-enabled short test
 # suite, the zero-alloc regression pass, the debugpool ownership lane, and a

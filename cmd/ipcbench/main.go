@@ -1,6 +1,7 @@
 // Command ipcbench reproduces Figure 2's measurement directly: the
 // round-trip time of a small message between two *separate processes* over
-// Unix domain sockets, under an idle and a busy CPU.
+// the shared-memory ring transport and Unix domain sockets, under an idle
+// and a busy CPU.
 //
 // By default it forks itself as the echo-server process (true two-process
 // IPC, like the paper's agent↔datapath split) and prints percentile rows
@@ -8,8 +9,8 @@
 //
 // Usage:
 //
-//	ipcbench                        # both transports, idle + busy
-//	ipcbench -transport unixgram -samples 60000
+//	ipcbench                        # all transports, idle + busy
+//	ipcbench -transport shmring -samples 60000
 //	ipcbench -cdf > cdf.csv
 package main
 
@@ -22,16 +23,17 @@ import (
 	"time"
 
 	"github.com/ccp-repro/ccp/internal/ipc"
+	"github.com/ccp-repro/ccp/internal/ipc/shmring"
 	"github.com/ccp-repro/ccp/internal/stats"
 )
 
 func main() {
 	var (
-		serveFlag = flag.String("serve", "", "internal: run as echo server on this socket path")
-		serveMode = flag.String("serve-mode", "", "internal: transport for -serve (unix|unixgram)")
+		serveFlag = flag.String("serve", "", "internal: run as echo server on this socket/ring path")
+		serveMode = flag.String("serve-mode", "", "internal: transport for -serve (unix|unixgram|shmring)")
 		peer      = flag.String("peer", "", "internal: peer path for unixgram serve")
 
-		transport = flag.String("transport", "all", "unix | unixgram | all")
+		transport = flag.String("transport", "all", "shmring | unix | unixgram | all")
 		samples   = flag.Int("samples", 60000, "round trips per condition")
 		warmup    = flag.Int("warmup", 500, "discarded warmup round trips")
 		payload   = flag.Int("payload", 64, "message payload bytes")
@@ -45,7 +47,7 @@ func main() {
 		return
 	}
 
-	transports := []string{"unixgram", "unix"}
+	transports := []string{"shmring", "unixgram", "unix"}
 	if *transport != "all" {
 		transports = []string{*transport}
 	}
@@ -103,6 +105,37 @@ func setup(transport string, inproc bool) (ipc.Transport, func(), error) {
 	cleanupDir := func() { os.RemoveAll(dir) }
 
 	switch transport {
+	case "shmring":
+		// The benchmark side Creates the ring file so it exists before the
+		// echo peer (goroutine or child process) Opens it; the ring itself
+		// buffers any sends that race the peer's startup.
+		ringPath := filepath.Join(dir, "ring")
+		client, err := shmring.Create(ringPath, shmring.Options{})
+		if err != nil {
+			cleanupDir()
+			return nil, nil, err
+		}
+		var stopServer func()
+		if inproc {
+			server, err := shmring.Open(ringPath, shmring.Options{})
+			if err != nil {
+				client.Close()
+				cleanupDir()
+				return nil, nil, err
+			}
+			go ipc.Echo(server)
+			stopServer = func() { server.Close() }
+		} else {
+			cmd, err := forkServer("shmring", ringPath, "")
+			if err != nil {
+				client.Close()
+				cleanupDir()
+				return nil, nil, err
+			}
+			stopServer = func() { cmd.Process.Kill(); cmd.Wait() }
+		}
+		return client, func() { client.Close(); stopServer(); cleanupDir() }, nil
+
 	case "unix":
 		path := filepath.Join(dir, "echo.sock")
 		var stopServer func()
@@ -215,6 +248,24 @@ func dialRetry(dial func() (ipc.Transport, error)) (ipc.Transport, error) {
 // runServer is the child-process echo loop.
 func runServer(mode, path, peer string) {
 	switch mode {
+	case "shmring":
+		// The parent Creates the ring before forking, so Open should
+		// succeed immediately; retry briefly anyway in case the fork won
+		// a race with the file becoming visible.
+		var ep ipc.Transport
+		for i := 0; ; i++ {
+			t, err := shmring.Open(path, shmring.Options{})
+			if err == nil {
+				ep = t
+				break
+			}
+			if i >= 100 {
+				fmt.Fprintf(os.Stderr, "ipcbench server: %v\n", err)
+				os.Exit(1)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		ipc.Echo(ep)
 	case "unix":
 		ln, err := ipc.ListenUnix(path)
 		if err != nil {

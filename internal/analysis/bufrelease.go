@@ -17,9 +17,11 @@ import (
 //   - use of a Buf variable after an unconditional Release on the same path
 //   - a second Release (explicit or via a pending defer) of the same
 //     variable on the same path
-//   - pooled frames (bufpool.Get, proto.MarshalFrame, ipc.RecvFrame) whose
-//     result is discarded on the spot or overwritten before any Release or
-//     handoff: such a frame loses its only owner and leaks from the pool
+//   - pooled frames (bufpool.Get, proto.MarshalFrame, ipc.RecvFrame, and
+//     the shmring TryRecvFrame poll) whose result is discarded on the spot
+//     or overwritten before any Release or handoff: such a frame loses its
+//     only owner and leaks from the pool (or, for ring views, permanently
+//     stalls the ring's consumer cursor)
 var BufRelease = &Analyzer{
 	Name: "bufrelease",
 	Doc:  "check bufpool.Buf single-owner discipline: no use-after-Release, no double Release, no leaked pooled frames",
@@ -300,8 +302,15 @@ func (b *bufScan) objOf(id *ast.Ident) types.Object {
 
 // frameProducers are the functions whose first result is a frame the caller
 // must own: discarding or overwriting it before a Release or handoff leaks
-// the frame from the pool.
-var frameProducers = map[string]bool{"Get": true, "MarshalFrame": true, "RecvFrame": true}
+// the frame from the pool. TryRecvFrame is the shmring poll path: a non-nil
+// result is a live ring view whose Release is what returns the ring bytes
+// to the producer, so dropping it wedges the connection, not just the pool.
+var frameProducers = map[string]bool{
+	"Get":          true,
+	"MarshalFrame": true,
+	"RecvFrame":    true,
+	"TryRecvFrame": true,
+}
 
 // checkDiscards flags frame-producing calls whose result is thrown away on
 // the spot: a bare expression statement or an assignment to the blank

@@ -13,6 +13,15 @@ import (
 // invalidated by the next Unmarshal on the same decoder. Values that must
 // outlive the next decode go through proto.Clone.
 //
+// The same discipline governs zero-copy ring frames: RecvFrame and
+// TryRecvFrame methods whose first result is a *bufpool.Buf (the
+// shmring.Endpoint receive path and the ipc.FrameRecver/TryRecver
+// interfaces it is used through) hand out views of ring memory or
+// endpoint-owned scratch that the next receive on the same endpoint
+// recycles. A view — or bytes derived from it — retained across the next
+// receive is reported exactly like decoder scratch retained across the
+// next Unmarshal.
+//
 // Two conservative, intra-procedural checks:
 //
 //  1. Straight-line staleness: a decoder-derived value used after a
@@ -36,25 +45,33 @@ func runDecoderAlias(pass *Pass) error {
 		d := &aliasScan{pass: pass}
 		d.stmts(body.List, aliasState{
 			derived: make(map[types.Object]types.Object),
-			stale:   make(map[types.Object]token.Pos),
+			stale:   make(map[types.Object]staleSrc),
 		})
 	})
 	return nil
 }
 
 type aliasState struct {
-	// derived maps a variable to the decoder object whose scratch it
-	// aliases (the receiver variable or field of the Unmarshal call).
+	// derived maps a variable to the scratch owner whose storage it
+	// aliases: the decoder of the Unmarshal call, or the endpoint of the
+	// RecvFrame/TryRecvFrame call (the receiver variable or field).
 	derived map[types.Object]types.Object
-	// stale maps a derived variable to the position of the Unmarshal call
-	// that invalidated it.
-	stale map[types.Object]token.Pos
+	// stale maps a derived variable to the invalidating call.
+	stale map[types.Object]staleSrc
+}
+
+// staleSrc records the call that invalidated a derived value, so the
+// diagnostic can name it ("Unmarshal" recycles decoder scratch;
+// "RecvFrame"/"TryRecvFrame" recycle ring memory).
+type staleSrc struct {
+	pos  token.Pos
+	call string
 }
 
 func (s aliasState) clone() aliasState {
 	c := aliasState{
 		derived: make(map[types.Object]types.Object, len(s.derived)),
-		stale:   make(map[types.Object]token.Pos, len(s.stale)),
+		stale:   make(map[types.Object]staleSrc, len(s.stale)),
 	}
 	for k, v := range s.derived {
 		c.derived[k] = v
@@ -197,8 +214,8 @@ func (d *aliasScan) blockClone(list []ast.Stmt, st aliasState, loop *loopCtx) {
 }
 
 // loopCtxFor returns a retention context when the loop body contains an
-// Unmarshal call (syntactically), meaning scratch is recycled every
-// iteration.
+// Unmarshal or ring-receive call (syntactically), meaning scratch or ring
+// memory is recycled every iteration.
 func (d *aliasScan) loopCtxFor(loop ast.Node, body *ast.BlockStmt) *loopCtx {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -206,7 +223,7 @@ func (d *aliasScan) loopCtxFor(loop ast.Node, body *ast.BlockStmt) *loopCtx {
 			return false
 		}
 		if call, ok := n.(*ast.CallExpr); ok {
-			if _, isUn := d.unmarshalCall(call); isUn {
+			if _, _, isInv := d.invalidatorCall(call); isInv {
 				found = true
 			}
 		}
@@ -293,7 +310,11 @@ func (d *aliasScan) retention(dst, src ast.Expr, pos token.Pos, st aliasState, l
 	if obj == nil || d.declaredInside(obj, loop.node) {
 		return
 	}
-	d.pass.Reportf(pos, "decoder-owned value %s across iterations of a loop that calls Unmarshal; it aliases scratch reused by the next decode — proto.Clone it first", how)
+	if isNamedType(dec.Type(), "proto", "Decoder") {
+		d.pass.Reportf(pos, "decoder-owned value %s across iterations of a loop that calls Unmarshal; it aliases scratch reused by the next decode — proto.Clone it first", how)
+	} else {
+		d.pass.Reportf(pos, "ring-frame view %s across iterations of a loop that receives frames; it aliases ring memory recycled by the next receive — copy the bytes (or proto.Clone the message) first", how)
+	}
 }
 
 // declaredInside reports whether obj's declaration lies within node.
@@ -318,29 +339,34 @@ func (d *aliasScan) checkStale(n ast.Node, st aliasState) {
 		if obj == nil {
 			return true
 		}
-		if pos, ok := st.stale[obj]; ok {
-			d.pass.Reportf(id.Pos(), "%s aliases decoder scratch invalidated by the Unmarshal at %s; Clone it before the next decode",
-				obj.Name(), d.pass.Fset.Position(pos))
+		if src, ok := st.stale[obj]; ok {
+			if src.call == "Unmarshal" {
+				d.pass.Reportf(id.Pos(), "%s aliases decoder scratch invalidated by the Unmarshal at %s; Clone it before the next decode",
+					obj.Name(), d.pass.Fset.Position(src.pos))
+			} else {
+				d.pass.Reportf(id.Pos(), "%s aliases ring memory invalidated by the %s at %s; frame views are only valid until the next receive — copy the bytes out first",
+					obj.Name(), src.call, d.pass.Fset.Position(src.pos))
+			}
 			delete(st.stale, obj)
 		}
 		return true
 	})
 }
 
-// noteUnmarshal marks variables derived from dec as stale when e is an
-// Unmarshal call on dec.
+// noteUnmarshal marks variables derived from a scratch owner as stale when
+// e is an invalidating call (Unmarshal, RecvFrame, TryRecvFrame) on it.
 func (d *aliasScan) noteUnmarshal(e ast.Expr, st aliasState) {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)
 	if !ok {
 		return
 	}
-	dec, isUn := d.unmarshalCall(call)
-	if !isUn || dec == nil {
+	src, name, isInv := d.invalidatorCall(call)
+	if !isInv || src == nil {
 		return
 	}
 	for v, from := range st.derived {
-		if from == dec {
-			st.stale[v] = call.Pos()
+		if from == src {
+			st.stale[v] = staleSrc{call.Pos(), name}
 			delete(st.derived, v)
 		}
 	}
@@ -387,18 +413,57 @@ func (d *aliasScan) unmarshalCall(call *ast.CallExpr) (types.Object, bool) {
 	return nil, true
 }
 
-// unmarshalResultDec returns the decoder object when rhs is an Unmarshal
-// call, i.e. the LHS is a freshly decoded (derived) message.
+// unmarshalResultDec returns the scratch-owner object when rhs is an
+// Unmarshal or ring-receive call, i.e. the LHS is a freshly derived value.
 func (d *aliasScan) unmarshalResultDec(rhs ast.Expr, st aliasState) types.Object {
 	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
 	if !ok {
 		return nil
 	}
-	dec, isUn := d.unmarshalCall(call)
-	if !isUn {
+	src, _, isInv := d.invalidatorCall(call)
+	if !isInv {
 		return nil
 	}
-	return dec
+	return src
+}
+
+// invalidatorCall matches the calls that recycle previously handed-out
+// storage: Decoder.Unmarshal, and RecvFrame/TryRecvFrame methods whose
+// first result is a *bufpool.Buf (shmring.Endpoint and the
+// ipc.FrameRecver/TryRecver interfaces). Returns the receiver's identity
+// object and the call name.
+func (d *aliasScan) invalidatorCall(call *ast.CallExpr) (types.Object, string, bool) {
+	if dec, isUn := d.unmarshalCall(call); isUn {
+		return dec, "Unmarshal", true
+	}
+	return d.ringRecvCall(call)
+}
+
+// ringRecvCall matches `recv.RecvFrame()` / `recv.TryRecvFrame()` where the
+// method's first result is a *bufpool.Buf. Package-level helpers (the
+// ipc.RecvFrame convenience wrapper) are deliberately excluded: without a
+// receiver there is no per-endpoint identity to key invalidation on.
+func (d *aliasScan) ringRecvCall(call *ast.CallExpr) (types.Object, string, bool) {
+	fn := calleeFunc(d.pass.TypesInfo, call)
+	if fn == nil || (fn.Name() != "RecvFrame" && fn.Name() != "TryRecvFrame") {
+		return nil, "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() == 0 ||
+		!isNamedType(sig.Results().At(0).Type(), "bufpool", "Buf") {
+		return nil, "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, fn.Name(), true
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		return d.pass.TypesInfo.Uses[x], fn.Name(), true
+	case *ast.SelectorExpr:
+		return d.pass.TypesInfo.Uses[x.Sel], fn.Name(), true
+	}
+	return nil, fn.Name(), true
 }
 
 // derivedIn returns the decoder object when expr mentions any derived

@@ -16,6 +16,13 @@ func mkframe() (*bufpool.Buf, error) {
 	return proto.MarshalFrame(msg())
 }
 
+// ring mimics the shmring.Endpoint receive surface: frame views whose
+// Release advances the consumer cursor, plus the non-blocking poll.
+type ring struct{}
+
+func (ring) RecvFrame() (*bufpool.Buf, error)    { return nil, nil }
+func (ring) TryRecvFrame() (*bufpool.Buf, error) { return nil, nil }
+
 // --- positive cases ---
 
 func useAfterRelease() {
@@ -69,6 +76,27 @@ func overwrittenBeforeRelease() {
 	f = bufpool.Get(8)
 	f = bufpool.Get(16) // want `f overwritten before the pooled frame`
 	f.Release()
+}
+
+func discardedTryRecv(r ring) {
+	r.TryRecvFrame() // want `result of TryRecvFrame discarded`
+}
+
+func overwrittenRingFrame(r ring) {
+	f, _ := r.TryRecvFrame()
+	f, _ = r.TryRecvFrame() // want `f overwritten before the pooled frame`
+	if f != nil {
+		f.Release()
+	}
+}
+
+func ringUseAfterRelease(r ring) {
+	f, err := r.RecvFrame()
+	if err != nil {
+		return
+	}
+	f.Release()
+	sink(f.B) // want `use of f after Release`
 }
 
 func releaseInLoopThenUse() {
@@ -168,4 +196,30 @@ func wrapped(data []byte) {
 	f := bufpool.Wrap(data)
 	sink(f.B)
 	f.Release()
+}
+
+// The multiplexed poll loop (runtime.ServeSet shape): empty polls return a
+// nil frame, hits are consumed and released before the next poll.
+func pollLoop(r ring) {
+	for i := 0; i < 4; i++ {
+		f, err := r.TryRecvFrame()
+		if err != nil || f == nil {
+			continue
+		}
+		sink(f.B)
+		f.Release()
+	}
+}
+
+// Blocking ring receive with the borrow-then-release discipline (ipc.Echo
+// shape).
+func ringBorrow(r ring) {
+	for i := 0; i < 4; i++ {
+		f, err := r.RecvFrame()
+		if err != nil {
+			return
+		}
+		sink(f.B)
+		f.Release()
+	}
 }

@@ -4,12 +4,21 @@
 package decoderalias
 
 import (
+	"github.com/ccp-repro/ccp/internal/bufpool"
 	"github.com/ccp-repro/ccp/internal/proto"
 )
 
 func consume(proto.Msg)  {}
 func frames() [][]byte   { return nil }
 func fields(f []float64) {}
+func sink([]byte)        {}
+
+// ringEP mimics the shmring.Endpoint receive surface: zero-copy views of
+// ring memory, recycled by the next receive on the same endpoint.
+type ringEP struct{}
+
+func (ringEP) RecvFrame() (*bufpool.Buf, error)    { return nil, nil }
+func (ringEP) TryRecvFrame() (*bufpool.Buf, error) { return nil, nil }
 
 // --- positive cases ---
 
@@ -69,6 +78,43 @@ func retainInOuterVar(dec *proto.Decoder) proto.Msg {
 	return last
 }
 
+// A ring view's bytes go stale when the same endpoint receives again.
+func staleRingViewAfterNextRecv(ep ringEP) {
+	f1, _ := ep.RecvFrame()
+	b := f1.B
+	f1.Release()
+	f2, _ := ep.RecvFrame()
+	sink(b) // want `b aliases ring memory invalidated by the RecvFrame`
+	f2.Release()
+}
+
+// The non-blocking poll invalidates exactly like the blocking receive.
+func staleRingViewAfterPoll(ep ringEP) {
+	f, _ := ep.RecvFrame()
+	m := f.B
+	f.Release()
+	g, _ := ep.TryRecvFrame()
+	if g != nil {
+		sink(m) // want `m aliases ring memory invalidated by the TryRecvFrame`
+		g.Release()
+	}
+}
+
+// Ring-view bytes appended to outer state survive only until the next
+// iteration's receive recycles the ring region.
+func retainRingViewAcrossIterations(ep ringEP) [][]byte {
+	var views [][]byte
+	for i := 0; i < 4; i++ {
+		f, err := ep.RecvFrame()
+		if err != nil {
+			break
+		}
+		views = append(views, f.B) // want `ring-frame view stored outside the loop`
+		f.Release()
+	}
+	return views
+}
+
 // --- negative cases ---
 
 // Borrow-for-the-call (bridge/agent/runtime Handler contract).
@@ -122,6 +168,33 @@ func splitAndDeliver(dec *proto.Decoder, raw []byte) {
 	for _, sub := range proto.Split(m) {
 		consume(sub)
 	}
+}
+
+// The multiplexed serve shape (runtime.ServeSet): poll, decode with a
+// scratch decoder, dispatch borrowed, release — all consumed before the
+// next receive, so nothing goes stale.
+func ringDecodeDispatch(ep ringEP, dec *proto.Decoder) {
+	for i := 0; i < 4; i++ {
+		f, err := ep.TryRecvFrame()
+		if err != nil || f == nil {
+			continue
+		}
+		m, err := dec.Unmarshal(f.B)
+		if err == nil {
+			consume(m)
+		}
+		f.Release()
+	}
+}
+
+// Distinct endpoints do not invalidate each other's views.
+func twoRings(p, q ringEP) {
+	f1, _ := p.RecvFrame()
+	f2, _ := q.RecvFrame()
+	sink(f1.B)
+	sink(f2.B)
+	f1.Release()
+	f2.Release()
 }
 
 // Scalars copied out of a message carry no aliases and may be retained.

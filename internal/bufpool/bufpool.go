@@ -30,6 +30,11 @@ type Buf struct {
 	B      []byte
 	dbg    debugState // zero-size unless built with -tags debugpool
 	pooled bool
+	// onRelease, when non-nil, marks a view buffer: Release invokes the hook
+	// instead of returning storage to any pool. Transports that hand out
+	// windows into shared storage (shmring) use the hook to learn when the
+	// consumer is done so the underlying region can be reclaimed.
+	onRelease func()
 }
 
 var pool = sync.Pool{New: func() any {
@@ -40,3 +45,12 @@ var pool = sync.Pool{New: func() any {
 // frames can also hand out caller-owned slices. Release on the result is a
 // no-op.
 func Wrap(data []byte) *Buf { return &Buf{B: data} }
+
+// NewView returns a reusable view buffer whose Release calls fn instead of
+// touching the pool. The owner (a transport) arms it with SetView before each
+// hand-out and reclaims the viewed region when fn fires; handing out the same
+// view Buf again before fn has fired is the owner's bug, not the pool's.
+// A view Buf follows the same single-owner discipline as a pooled frame: the
+// receiver calls Release exactly once and must not touch B afterwards — the
+// bytes belong to shared storage that is recycled once the hook runs.
+func NewView(fn func()) *Buf { return &Buf{onRelease: fn} }

@@ -62,11 +62,36 @@ func Get(capHint int) *Buf {
 }
 
 // Release returns the buffer to the pool. It is a no-op on nil or wrapped
-// buffers. Under debugpool a second Release of the same buffer panics with
-// both Release stacks, and the payload is poisoned so later writes through a
-// stale alias are caught by the next Get.
+// buffers; on a view buffer it fires the owner's release hook. Under
+// debugpool a second Release of the same buffer panics with both Release
+// stacks, and the payload is poisoned so later writes through a stale alias
+// are caught by the next Get. A released view is poisoned too: the viewed
+// record was consumed, so scribbling 0xDB over it before the owner reclaims
+// the region turns any reader still aliasing it into an immediate failure.
 func (b *Buf) Release() {
-	if b == nil || !b.pooled {
+	if b == nil {
+		return
+	}
+	if b.onRelease != nil {
+		b.dbg.mu.Lock()
+		if !b.dbg.live {
+			rel := b.dbg.relStack
+			b.dbg.mu.Unlock()
+			panic(fmt.Sprintf(
+				"bufpool: double Release of view buffer\n\nfirst Release:\n%s\nsecond Release:\n%s",
+				rel, stack()))
+		}
+		b.dbg.live = false
+		b.dbg.relStack = stack()
+		full := b.B[:cap(b.B)]
+		for i := range full {
+			full[i] = poison
+		}
+		b.dbg.mu.Unlock()
+		b.onRelease()
+		return
+	}
+	if !b.pooled {
 		return
 	}
 	b.dbg.mu.Lock()
@@ -86,4 +111,15 @@ func (b *Buf) Release() {
 	}
 	b.dbg.mu.Unlock()
 	pool.Put(b)
+}
+
+// SetView arms a view buffer (NewView) with its next payload. Only the
+// buffer's owner calls this, and only while no hand-out is outstanding; under
+// debugpool the hand-out is marked live so a double Release panics.
+func (b *Buf) SetView(data []byte) {
+	b.dbg.mu.Lock()
+	b.dbg.live = true
+	b.dbg.relStack = nil
+	b.dbg.mu.Unlock()
+	b.B = data
 }

@@ -22,10 +22,22 @@ func Get(capHint int) *Buf {
 }
 
 // Release returns the buffer to the pool. It is a no-op on nil or wrapped
-// buffers. The caller must not use b (or b.B) afterwards.
+// buffers; on a view buffer it fires the owner's release hook instead. The
+// caller must not use b (or b.B) afterwards.
 func (b *Buf) Release() {
-	if b == nil || !b.pooled {
+	if b == nil {
+		return
+	}
+	if b.onRelease != nil {
+		b.onRelease()
+		return
+	}
+	if !b.pooled {
 		return
 	}
 	pool.Put(b)
 }
+
+// SetView arms a view buffer (NewView) with its next payload. Only the
+// buffer's owner calls this, and only while no hand-out is outstanding.
+func (b *Buf) SetView(data []byte) { b.B = data }

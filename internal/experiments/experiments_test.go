@@ -120,8 +120,8 @@ func TestFig2SmokeSized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Series) != 6 {
-		t.Fatalf("series=%d, want 6", len(res.Series))
+	if len(res.Series) != 8 {
+		t.Fatalf("series=%d, want 8", len(res.Series))
 	}
 	for _, s := range res.Series {
 		if s.Samples.Len() != 1000 {
@@ -137,7 +137,7 @@ func TestFig2SmokeSized(t *testing.T) {
 		}
 	}
 	// The paper's framing: IPC RTTs are negligible vs WAN RTTs (~10ms).
-	for _, tr := range []string{"unixgram", "unix-stream"} {
+	for _, tr := range []string{"shmring", "unixgram", "unix-stream"} {
 		if p99 := seriesOf(t, res, tr, false).P(99); p99 > 5*time.Millisecond {
 			t.Fatalf("%s idle p99=%v, not negligible vs WAN RTTs", tr, p99)
 		}

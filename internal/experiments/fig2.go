@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/ccp-repro/ccp/internal/ipc"
+	"github.com/ccp-repro/ccp/internal/ipc/shmring"
 	"github.com/ccp-repro/ccp/internal/stats"
 )
 
@@ -66,7 +67,7 @@ func Fig2(cfg Fig2Config) (Fig2Result, error) {
 	cfg = cfg.withDefaults()
 	res := Fig2Result{Config: cfg}
 	for _, busy := range []bool{false, true} {
-		for _, transport := range []string{"unixgram", "unix-stream", "chan"} {
+		for _, transport := range []string{"shmring", "unixgram", "unix-stream", "chan"} {
 			s, err := fig2Measure(cfg, transport, busy)
 			if err != nil {
 				return res, fmt.Errorf("fig2 %s busy=%v: %w", transport, busy, err)
@@ -99,6 +100,18 @@ func fig2Transport(transport string) (ipc.Transport, func(), error) {
 		a, b := ipc.ChanPair(1)
 		go ipc.Echo(b) //lint:ownership echo server for the real-IPC latency benchmark
 		return a, func() { a.Close(); b.Close() }, nil
+	case "shmring":
+		dir, err := os.MkdirTemp("", "ccp-fig2-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		a, b, err := shmring.Pair(filepath.Join(dir, "ring"), shmring.Options{}, shmring.Options{})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		go ipc.Echo(b) //lint:ownership echo server for the shared-memory ring latency benchmark
+		return a, func() { a.Close(); b.Close(); os.RemoveAll(dir) }, nil
 	case "unix-stream":
 		dir, err := os.MkdirTemp("", "ccp-fig2-*")
 		if err != nil {

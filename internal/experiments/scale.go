@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/ccp-repro/ccp/internal/core"
 	"github.com/ccp-repro/ccp/internal/ipc"
+	"github.com/ccp-repro/ccp/internal/ipc/shmring"
 	"github.com/ccp-repro/ccp/internal/proto"
 	ccpruntime "github.com/ccp-repro/ccp/internal/runtime"
 	"github.com/ccp-repro/ccp/internal/stats"
@@ -19,9 +22,16 @@ import (
 // user-space agent scales to many flows once per-report IPC cost is
 // amortized by batching. Unlike the figure experiments this is a real
 // measurement (wall clock, goroutines, a real transport), not a simulation:
-// a closed-loop load generator drives 1→1000 flows through the sharded
-// agent runtime over an in-process transport and measures report throughput,
-// report-to-decision latency, and the IPC message reduction batching buys.
+// a closed-loop load generator drives the configured flow counts through the
+// sharded agent runtime and measures report throughput, report-to-decision
+// latency, and the IPC message reduction batching buys.
+//
+// Two transports are supported. "chan" is the original in-process channel
+// pair, one connection, served by a dedicated goroutine. "shmring" is the
+// shared-memory ring lane: Conns connections striped across the flows
+// (flow sid lands on connection (sid-1) mod Conns), all served by ONE
+// agent-side goroutine multiplexed over the rings' doorbells
+// (Runtime.ServeSet) — the 100k-flow serve topology.
 type ScaleConfig struct {
 	// FlowCounts are the load steps (default 1, 10, 100, 1000).
 	FlowCounts []int
@@ -29,6 +39,20 @@ type ScaleConfig struct {
 	ReportsPerFlow int
 	// Shards is the runtime's shard count (default GOMAXPROCS, min 2).
 	Shards int
+	// Transport selects the lane: "chan" (default) or "shmring".
+	Transport string
+	// Conns is the number of datapath connections (shmring only; default 4).
+	// "chan" always uses one connection.
+	Conns int
+	// MaxOutstanding caps the reports in flight across all flows. 0 keeps
+	// the original closed loop — one outstanding report per flow — whose
+	// queueing delay necessarily grows linearly with the flow count (10k
+	// flows each awaiting one decision from a service that completes ~1M/s
+	// is ~10ms of queue by Little's law, regardless of transport). A bounded
+	// window holds offered load constant while the flow TABLE scales, which
+	// is the ROADMAP metric: p99 report-to-decision latency flat as flows
+	// grow. The committed BENCH_scale.json uses 256.
+	MaxOutstanding int
 	// BatchInterval is the datapath-side coalescing window for the batched
 	// condition (default 1ms — roughly one datacenter RTT, the paper's
 	// natural control interval).
@@ -37,7 +61,8 @@ type ScaleConfig struct {
 	MaxBatchMsgs int
 	// Seed makes generated report contents deterministic (default 1).
 	Seed int64
-	// Timeout aborts a wedged step (default 60s).
+	// Timeout aborts a wedged step (default 60s; raise it for 100k-flow
+	// runs, which move millions of reports per condition).
 	Timeout time.Duration
 }
 
@@ -53,6 +78,14 @@ func (c ScaleConfig) withDefaults() ScaleConfig {
 		if c.Shards < 2 {
 			c.Shards = 2
 		}
+	}
+	if c.Transport == "" {
+		c.Transport = "chan"
+	}
+	if c.Transport == "chan" {
+		c.Conns = 1
+	} else if c.Conns == 0 {
+		c.Conns = 4
 	}
 	if c.BatchInterval == 0 {
 		c.BatchInterval = time.Millisecond
@@ -104,9 +137,18 @@ type ScaleResult struct {
 	Config         ScaleConfig `json:"-"`
 	Shards         int         `json:"shards"`
 	GOMAXPROCS     int         `json:"gomaxprocs"`
+	Transport      string      `json:"transport"`
+	Conns          int         `json:"conns"`
+	MaxOutstanding int         `json:"max_outstanding"`
 	BatchMs        float64     `json:"batch_interval_ms"`
 	ReportsPerFlow int         `json:"reports_per_flow"`
 	Seed           int64       `json:"seed"`
+	// GOGC records a non-default GC percent the run was taken with (the
+	// loadgen's -gogc flag; 0 means the runtime default). On a small heap
+	// the default GC cadence injects ~1ms pauses into the latency tail, so
+	// tail-focused rows are taken with a higher setting — recorded here so
+	// the number's provenance is explicit.
+	GOGC int `json:"gogc,omitempty"`
 	// GitSHA records the commit the benchmark ran at, so a committed
 	// BENCH_scale.json can be traced to the code that produced it. Filled in
 	// by cmd/ccp-loadgen; empty when the tree's commit is unknown.
@@ -126,10 +168,16 @@ func (loadAlg) OnUrgent(f *core.Flow, u core.UrgentEvent)      {}
 // Scale runs every load step under both IPC conditions.
 func Scale(cfg ScaleConfig) (ScaleResult, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Transport != "chan" && cfg.Transport != "shmring" {
+		return ScaleResult{}, fmt.Errorf("unknown scale transport %q (want chan or shmring)", cfg.Transport)
+	}
 	res := ScaleResult{
 		Config:         cfg,
 		Shards:         cfg.Shards,
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Transport:      cfg.Transport,
+		Conns:          cfg.Conns,
+		MaxOutstanding: cfg.MaxOutstanding,
 		BatchMs:        float64(cfg.BatchInterval) / float64(time.Millisecond),
 		ReportsPerFlow: cfg.ReportsPerFlow,
 		Seed:           cfg.Seed,
@@ -164,7 +212,10 @@ type stepResult struct {
 }
 
 // scaleStep drives one load step: flows × reportsPerFlow closed-loop reports
-// through the sharded runtime over a channel transport.
+// through the sharded runtime over the configured transport. Flows are
+// striped across connections; each connection runs an independent closed
+// loop (its own sender, receiver, and latency samples) over its flow subset,
+// and the results merge after every loop drains.
 func scaleStep(cfg ScaleConfig, flows int, batch bool) (stepResult, error) {
 	reg := core.NewRegistry()
 	reg.Register("load", func() core.Alg { return loadAlg{} })
@@ -177,101 +228,77 @@ func scaleStep(cfg ScaleConfig, flows int, batch bool) (stepResult, error) {
 	}
 	defer rt.Close()
 
-	depth := flows + cfg.MaxBatchMsgs + 64
-	dpSide, agentSide := ipc.ChanPair(depth)
-	defer dpSide.Close()
-	defer agentSide.Close()
-	go rt.ServeTransport(agentSide) //lint:ownership runtime serves a real transport in this wall-clock benchmark
-
-	// out feeds the sender goroutine, which owns coalescing and the wire.
-	out := make(chan proto.Msg, depth)
-	var wireMsgs int64
-	senderDone := make(chan error, 1)
-	go func() { //lint:ownership sender goroutine owns the wire in this wall-clock benchmark
-		senderDone <- runSender(dpSide, out, batch, cfg.BatchInterval, cfg.MaxBatchMsgs, &wireMsgs)
-	}()
-
-	// Announce all flows and wait until the runtime has adopted them; Init
-	// sends no reply, so adoption is observed via FlowCount.
-	setupStart := time.Now() //lint:ownership wall-clock measurement is the benchmark output
-	for sid := 1; sid <= flows; sid++ {
-		out <- &proto.Create{SID: uint32(sid), MSS: 1448, InitCwnd: 14480}
+	dp, cleanup, err := startTransports(cfg, rt, flows)
+	if err != nil {
+		return stepResult{}, err
 	}
+	defer cleanup()
+
 	deadline := time.Now().Add(cfg.Timeout) //lint:ownership wall-clock deadline for wedge detection
+	sentAt := make([]time.Time, flows+1)
+	seq := make([]uint32, flows+1)
+	done := make([]bool, flows+1)
+
+	workers := make([]*scaleWorker, len(dp))
+	for ci, tr := range dp {
+		w := &scaleWorker{
+			tr:       tr,
+			reports:  cfg.ReportsPerFlow,
+			deadline: deadline,
+			sentAt:   sentAt,
+			seq:      seq,
+			done:     done,
+			lat:      &stats.Samples{},
+			rng:      cfg.Seed + int64(ci),
+		}
+		// Stripe: flow sid belongs to connection (sid-1) mod Conns. Each
+		// worker touches only its own flows' slots in the shared arrays, so
+		// the workers never contend.
+		for sid := ci + 1; sid <= flows; sid += len(dp) {
+			w.sids = append(w.sids, sid)
+		}
+		if cfg.MaxOutstanding > 0 {
+			w.window = cfg.MaxOutstanding / len(dp)
+			if w.window < 1 {
+				w.window = 1
+			}
+		} else {
+			w.window = len(w.sids) // legacy: one outstanding report per flow
+		}
+		workers[ci] = w
+	}
+
+	// Workers announce their flows and run their closed loops; the main
+	// goroutine measures setup throughput by watching flow adoption (Create
+	// sends no reply). Per-flow ordering makes the overlap safe: a flow's
+	// first report follows its Create on the same connection.
+	setupStart := time.Now() //lint:ownership wall-clock measurement is the benchmark output
+	var wg sync.WaitGroup
+	errs := make(chan error, len(workers))
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *scaleWorker) { //lint:ownership closed-loop workers drive a real transport in this wall-clock benchmark
+			defer wg.Done()
+			if err := w.run(batch, cfg.BatchInterval, cfg.MaxBatchMsgs); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	setupSec := 0.0
 	for rt.FlowCount() < flows {
 		if time.Now().After(deadline) { //lint:ownership wall-clock deadline for wedge detection
 			return stepResult{}, fmt.Errorf("flow setup wedged at %d/%d", rt.FlowCount(), flows)
 		}
 		runtime.Gosched()
 	}
-	setupSec := time.Since(setupStart).Seconds() //lint:ownership wall-clock measurement is the benchmark output
-
-	// Closed loop: one outstanding report per flow. The receiver routes each
-	// decision back to its flow, records the report→decision latency, and
-	// kicks the flow's next report. Latency samples accumulate per shard and
-	// merge after the loop (stats.Samples.Merge).
-	sentAt := make([]time.Time, flows+1)
-	seq := make([]uint32, flows+1)
-	done := make([]bool, flows+1)
-	perShard := make([]*stats.Samples, cfg.Shards)
-	for i := range perShard {
-		perShard[i] = &stats.Samples{}
-	}
-	rng := cfg.Seed
-	nextField := func() float64 {
-		rng = rng*6364136223846793005 + 1442695040888963407
-		return float64(uint64(rng)>>40) / float64(1<<24)
-	}
-	kick := func(sid int) {
-		seq[sid]++
-		sentAt[sid] = time.Now() //lint:ownership report-to-decision latency is measured in wall time
-		out <- &proto.Measurement{
-			SID: uint32(sid), Seq: seq[sid],
-			Fields: []float64{nextField(), nextField(), nextField(), 1448, 0, 0, nextField()},
-		}
-	}
-
-	loopStart := time.Now() //lint:ownership wall-clock measurement is the benchmark output
-	for sid := 1; sid <= flows; sid++ {
-		kick(sid)
-	}
-	remaining := flows
-	for remaining > 0 {
-		if time.Now().After(deadline) { //lint:ownership wall-clock deadline for wedge detection
-			return stepResult{}, fmt.Errorf("closed loop wedged with %d flows outstanding", remaining)
-		}
-		data, err := dpSide.Recv()
-		if err != nil {
-			return stepResult{}, fmt.Errorf("loadgen recv: %w", err)
-		}
-		m, err := proto.Unmarshal(data)
-		if err != nil {
-			return stepResult{}, fmt.Errorf("loadgen decode: %w", err)
-		}
-		for _, sub := range proto.Split(m) {
-			sc, ok := sub.(*proto.SetCwnd)
-			if !ok {
-				continue
-			}
-			sid := int(sc.SID)
-			if sid < 1 || sid > flows || done[sid] {
-				continue
-			}
-			perShard[sid%cfg.Shards].Add(float64(time.Since(sentAt[sid]).Microseconds())) //lint:ownership report-to-decision latency is measured in wall time
-			if seq[sid] >= uint32(cfg.ReportsPerFlow) {
-				done[sid] = true
-				remaining--
-				continue
-			}
-			kick(sid)
-		}
-	}
-	elapsed := time.Since(loopStart).Seconds() //lint:ownership wall-clock measurement is the benchmark output
-
-	close(out)
-	if err := <-senderDone; err != nil {
+	setupSec = time.Since(setupStart).Seconds() //lint:ownership wall-clock measurement is the benchmark output
+	wg.Wait()
+	elapsed := time.Since(setupStart).Seconds() //lint:ownership wall-clock measurement is the benchmark output
+	close(errs)
+	if err := <-errs; err != nil {
 		return stepResult{}, err
 	}
+
 	rt.Drain()
 	st := rt.Stats()
 	wantReports := flows * cfg.ReportsPerFlow
@@ -281,8 +308,10 @@ func scaleStep(cfg ScaleConfig, flows int, batch bool) (stepResult, error) {
 	}
 
 	lat := &stats.Samples{}
-	for _, s := range perShard {
-		lat.Merge(s)
+	var wireMsgs int64
+	for _, w := range workers {
+		lat.Merge(w.lat)
+		wireMsgs += w.wireMsgs
 	}
 	return stepResult{
 		point: ScalePoint{
@@ -298,6 +327,192 @@ func scaleStep(cfg ScaleConfig, flows int, batch bool) (stepResult, error) {
 		},
 		wireMsgs: wireMsgs,
 	}, nil
+}
+
+// startTransports builds the datapath-side connections and starts the
+// agent-side serving: one goroutine per connection for "chan", one
+// ServeSet goroutine multiplexing every ring for "shmring".
+func startTransports(cfg ScaleConfig, rt *ccpruntime.Runtime, flows int) ([]ipc.Transport, func(), error) {
+	switch cfg.Transport {
+	case "chan":
+		depth := flows + cfg.MaxBatchMsgs + 64
+		dpSide, agentSide := ipc.ChanPair(depth)
+		go rt.ServeTransport(agentSide) //lint:ownership runtime serves a real transport in this wall-clock benchmark
+		return []ipc.Transport{dpSide}, func() {
+			dpSide.Close()
+			agentSide.Close()
+		}, nil
+	case "shmring":
+		dir, err := os.MkdirTemp("", "ccp-scale-")
+		if err != nil {
+			return nil, nil, err
+		}
+		mux, err := shmring.NewMux(filepath.Join(dir, "mux.bell"))
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		dp := make([]ipc.Transport, 0, cfg.Conns)
+		var agentEnds []*shmring.Endpoint
+		cleanup := func() {
+			for _, t := range dp {
+				t.Close()
+			}
+			for _, e := range agentEnds {
+				e.Close()
+			}
+			mux.Close()
+			os.RemoveAll(dir)
+		}
+		for ci := 0; ci < cfg.Conns; ci++ {
+			a, b, err := shmring.Pair(filepath.Join(dir, fmt.Sprintf("ring%d", ci)),
+				shmring.Options{}, shmring.Options{Bell: mux.Bell()})
+			if err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+			if err := mux.Adopt(b); err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+			dp = append(dp, a)
+			agentEnds = append(agentEnds, b)
+		}
+		go rt.ServeSet(mux) //lint:ownership runtime serves real transports in this wall-clock benchmark
+		return dp, cleanup, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown scale transport %q", cfg.Transport)
+	}
+}
+
+// scaleWorker is one connection's closed loop: it announces its flow subset,
+// keeps at most window reports in flight across them, and records a
+// report-to-decision latency sample per decision. The sentAt/seq/done arrays
+// are shared across workers but indexed only at this worker's flow IDs.
+type scaleWorker struct {
+	tr       ipc.Transport
+	sids     []int
+	window   int
+	reports  int
+	deadline time.Time
+	sentAt   []time.Time
+	seq      []uint32
+	done     []bool
+	lat      *stats.Samples
+	rng      int64
+	wireMsgs int64
+}
+
+func (w *scaleWorker) run(batch bool, interval time.Duration, maxBatch int) error {
+	out := make(chan proto.Msg, w.window+len(w.sids)+64)
+	senderDone := make(chan error, 1)
+	go func() { //lint:ownership sender goroutine owns the wire in this wall-clock benchmark
+		senderDone <- runSender(w.tr, out, batch, interval, maxBatch, &w.wireMsgs)
+	}()
+	loopErr := w.loop(out)
+	close(out)
+	sendErr := <-senderDone
+	if loopErr != nil {
+		return loopErr
+	}
+	return sendErr
+}
+
+func (w *scaleWorker) loop(out chan<- proto.Msg) error {
+	for _, sid := range w.sids {
+		out <- &proto.Create{SID: uint32(sid), MSS: 1448, InitCwnd: 14480}
+	}
+	nextField := func() float64 {
+		w.rng = w.rng*6364136223846793005 + 1442695040888963407
+		return float64(uint64(w.rng)>>40) / float64(1<<24)
+	}
+	kick := func(sid int) {
+		w.seq[sid]++
+		w.sentAt[sid] = time.Now() //lint:ownership report-to-decision latency is measured in wall time
+		out <- &proto.Measurement{
+			SID: uint32(sid), Seq: w.seq[sid],
+			Fields: []float64{nextField(), nextField(), nextField(), 1448, 0, 0, nextField()},
+		}
+	}
+	// ready is a fixed-capacity FIFO of flows awaiting their next kick; a
+	// flow is queued at most once, so len(sids) bounds it.
+	ready := newIntQueue(len(w.sids))
+	for _, sid := range w.sids {
+		ready.push(sid)
+	}
+	inflight := 0
+	pump := func() {
+		for inflight < w.window && ready.len() > 0 {
+			kick(ready.pop())
+			inflight++
+		}
+	}
+	pump()
+	var dec proto.Decoder
+	remaining := len(w.sids)
+	for remaining > 0 {
+		if time.Now().After(w.deadline) { //lint:ownership wall-clock deadline for wedge detection
+			return fmt.Errorf("closed loop wedged with %d flows unfinished", remaining)
+		}
+		f, err := ipc.RecvFrame(w.tr)
+		if err != nil {
+			return fmt.Errorf("loadgen recv: %w", err)
+		}
+		m, err := dec.Unmarshal(f.B)
+		if err != nil {
+			f.Release()
+			return fmt.Errorf("loadgen decode: %w", err)
+		}
+		for _, sub := range proto.Split(m) {
+			sc, ok := sub.(*proto.SetCwnd)
+			if !ok {
+				continue
+			}
+			sid := int(sc.SID)
+			if sid < 1 || sid >= len(w.done) || w.done[sid] {
+				continue
+			}
+			w.lat.Add(float64(time.Since(w.sentAt[sid]).Microseconds())) //lint:ownership report-to-decision latency is measured in wall time
+			inflight--
+			if w.seq[sid] >= uint32(w.reports) {
+				w.done[sid] = true
+				remaining--
+				continue
+			}
+			ready.push(sid)
+		}
+		f.Release()
+		pump()
+	}
+	return nil
+}
+
+// intQueue is a fixed-capacity ring-buffer FIFO (no per-push allocation; the
+// closed loop pushes once per decision for millions of decisions).
+type intQueue struct {
+	buf        []int
+	head, size int
+}
+
+func newIntQueue(capacity int) *intQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &intQueue{buf: make([]int, capacity)}
+}
+
+func (q *intQueue) len() int { return q.size }
+
+func (q *intQueue) push(v int) {
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+}
+
+func (q *intQueue) pop() int {
+	v := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return v
 }
 
 // runSender owns the datapath side of the wire: it coalesces queued reports
@@ -391,8 +606,8 @@ func (r ScaleResult) WriteJSON(path string) error {
 // String renders the scaling table.
 func (r ScaleResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Flow-scale benchmark: sharded runtime (%d shards), batch interval %.2fms\n",
-		r.Shards, r.BatchMs)
+	fmt.Fprintf(&b, "Flow-scale benchmark: sharded runtime (%d shards), %s transport (%d conns), batch interval %.2fms, window %d\n",
+		r.Shards, r.Transport, r.Conns, r.BatchMs, r.MaxOutstanding)
 	fmt.Fprintf(&b, "  %-7s %12s %12s %12s %12s %10s %10s\n",
 		"flows", "reports/s", "p50 lat", "p99 lat", "ipc msgs", "reduction", "meanbatch")
 	for _, p := range r.Points {

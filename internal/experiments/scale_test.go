@@ -68,3 +68,51 @@ func TestScaleSmoke(t *testing.T) {
 		t.Fatal("empty table rendering")
 	}
 }
+
+// TestScaleSmokeShmring runs the same pipeline over the shared-memory ring
+// lane: flows striped across ring connections, a bounded in-flight window,
+// and the agent serving every ring from one multiplexed goroutine.
+func TestScaleSmokeShmring(t *testing.T) {
+	cfg := ScaleConfig{
+		FlowCounts:     []int{1, 16},
+		ReportsPerFlow: 25,
+		Shards:         2,
+		Transport:      "shmring",
+		Conns:          2,
+		MaxOutstanding: 8,
+		BatchInterval:  200 * time.Microsecond,
+		Timeout:        30 * time.Second,
+	}
+	res, err := Scale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transport != "shmring" || res.Conns != 2 || res.MaxOutstanding != 8 {
+		t.Fatalf("config not reflected in result: %+v", res)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points=%d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Reports != p.Flows*cfg.ReportsPerFlow {
+			t.Fatalf("point %+v: wrong report count", p)
+		}
+		if p.ReportsPerSec <= 0 || p.FlowsPerSec <= 0 {
+			t.Fatalf("point %+v: non-positive throughput", p)
+		}
+		if p.LatencyP50Us <= 0 || p.LatencyP99Us < p.LatencyP50Us {
+			t.Fatalf("point %+v: implausible latency", p)
+		}
+		if p.WireMsgsUnbatched < int64(p.Reports) {
+			t.Fatalf("point %+v: unbatched condition must ship every report", p)
+		}
+	}
+}
+
+// TestScaleRejectsUnknownTransport pins the config validation.
+func TestScaleRejectsUnknownTransport(t *testing.T) {
+	_, err := Scale(ScaleConfig{Transport: "netlink", FlowCounts: []int{1}, ReportsPerFlow: 1})
+	if err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package shmring
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// ding is the one-byte datagram a producer sends to wake a parked consumer.
+// Its content is meaningless; the readable event is the signal.
+var ding = []byte{1}
+
+type doorbellConn = *net.UnixConn
+
+// Bell is a wakeup doorbell: a bound Unix datagram socket a consumer parks
+// on and producers ding. Datagram sockets give exactly the futex-like
+// semantics the ring needs with nothing outside the stdlib: waiting is one
+// blocking read, waking is one sendto from any process that knows the path,
+// and a burst of dings coalesces into (at least) one wakeup — a slow
+// receiver just finds the socket buffer non-empty and returns immediately.
+//
+// A Bell may back a single endpoint or be shared by many (see Mux), but it
+// must have exactly one waiter: competing readers would steal each other's
+// wakeups.
+type Bell struct {
+	conn   *net.UnixConn
+	path   string
+	closed atomic.Bool
+}
+
+// NewBell binds a doorbell socket at path.
+func NewBell(path string) (*Bell, error) {
+	addr, err := net.ResolveUnixAddr("unixgram", path)
+	if err != nil {
+		return nil, fmt.Errorf("shmring: doorbell addr: %w", err)
+	}
+	conn, err := net.ListenUnixgram("unixgram", addr)
+	if err != nil {
+		return nil, fmt.Errorf("shmring: doorbell bind: %w", err)
+	}
+	return &Bell{conn: conn, path: path}, nil
+}
+
+// Path returns the socket path producers ding.
+func (b *Bell) Path() string { return b.path }
+
+// wait blocks until a ding arrives, d elapses, or the bell is closed.
+// Callers treat every return as spurious and re-check ring state.
+func (b *Bell) wait(d time.Duration) {
+	if b.closed.Load() {
+		return
+	}
+	var buf [16]byte
+	b.conn.SetReadDeadline(time.Now().Add(d))
+	b.conn.Read(buf[:])
+}
+
+// drain empties any queued dings without blocking, so a waiter that already
+// found work does not wake instantly on the next park for stale signals.
+func (b *Bell) drain() {
+	if b.closed.Load() {
+		return
+	}
+	var buf [16]byte
+	b.conn.SetReadDeadline(time.Now())
+	for {
+		if _, err := b.conn.Read(buf[:]); err != nil {
+			return
+		}
+	}
+}
+
+// Close unblocks the waiter and removes the socket file.
+func (b *Bell) Close() error {
+	if b.closed.Swap(true) {
+		return nil
+	}
+	err := b.conn.Close()
+	os.Remove(b.path)
+	return err
+}
+
+func dialBell(path string) (doorbellConn, error) {
+	raddr, err := net.ResolveUnixAddr("unixgram", path)
+	if err != nil {
+		return nil, err
+	}
+	return net.DialUnix("unixgram", nil, raddr)
+}

@@ -1,0 +1,56 @@
+package shmring_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/ccp-repro/ccp/internal/ipc"
+	"github.com/ccp-repro/ccp/internal/ipc/shmring"
+)
+
+// BenchmarkShmRingRTT and BenchmarkUnixRTT are the committed-baseline pair
+// (bench/baseline.txt) behind the ISSUE 8 acceptance bar: the ring's 64-byte
+// round trip against the Unix datagram lane the repo used before. Both drive
+// the same Echo peer through the generic Transport surface; only the lane
+// differs. Cross-process numbers (the paper's Figure 2 configuration) come
+// from cmd/ipcbench, which forks the echo server.
+
+func benchRTT(b *testing.B, client ipc.Transport, server ipc.Transport) {
+	b.Helper()
+	go ipc.Echo(server)
+	msg := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+		f, err := ipc.RecvFrame(client)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Release()
+	}
+}
+
+func BenchmarkShmRingRTT(b *testing.B) {
+	a, peer, err := shmring.Pair(filepath.Join(b.TempDir(), "ring"),
+		shmring.Options{}, shmring.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	defer peer.Close()
+	benchRTT(b, a, peer)
+}
+
+func BenchmarkUnixRTT(b *testing.B) {
+	dir := b.TempDir()
+	a, peer, err := ipc.DgramPair(filepath.Join(dir, "a.sock"), filepath.Join(dir, "b.sock"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	defer peer.Close()
+	benchRTT(b, a, peer)
+}

@@ -1,0 +1,13 @@
+//go:build linux
+
+package shmring
+
+import "syscall"
+
+// osYield yields the processor to any runnable thread, including one in
+// another process. runtime.Gosched only rotates goroutines within this
+// process; on a single-CPU host a cross-process ring peer never runs unless
+// the spinner periodically gives the kernel a chance to schedule it.
+func osYield() {
+	syscall.Syscall(syscall.SYS_SCHED_YIELD, 0, 0, 0)
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package shmring
+
+import "runtime"
+
+// osYield on non-Linux platforms falls back to a scheduler yield; the
+// ParkTimeout backstop still guarantees cross-process progress.
+func osYield() {
+	runtime.Gosched()
+}

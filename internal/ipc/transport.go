@@ -43,6 +43,27 @@ type FrameRecver interface {
 	RecvFrame() (*bufpool.Buf, error)
 }
 
+// TryRecver is implemented by transports whose receive side can be polled
+// without blocking. TryRecvFrame returns (nil, nil) when no message is
+// waiting; a returned frame follows the FrameRecver ownership contract.
+// Shared-memory rings implement this so a multiplexed serve loop can drain
+// many connections from one goroutine.
+type TryRecver interface {
+	FrameRecver
+	TryRecvFrame() (*bufpool.Buf, error)
+}
+
+// RecvSet is a group of transports whose receive readiness can be awaited
+// together — one doorbell for the whole set instead of a blocked goroutine
+// per connection. WaitAny blocks until at least one member may have a frame
+// (or is closed); spurious returns are allowed, so callers re-poll the
+// members after every wake. WaitAny returns an error (typically ErrClosed)
+// only when waiting can never again produce a frame.
+type RecvSet interface {
+	Transports() []Transport
+	WaitAny() error
+}
+
 // RecvFrame receives one message from t as a frame the caller must Release.
 // Transports implementing FrameRecver deliver a pooled buffer with no copy;
 // for any other Transport this falls back to Recv, wrapping the owned slice

@@ -1,0 +1,136 @@
+package runtime_test
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/ipc"
+	"github.com/ccp-repro/ccp/internal/ipc/shmring"
+	"github.com/ccp-repro/ccp/internal/proto"
+	"github.com/ccp-repro/ccp/internal/runtime"
+)
+
+// TestServeSetMultiplexesConnections drives several shared-memory datapath
+// connections through one ServeSet goroutine: every connection's flows must
+// be processed and every reply must come back on the connection that owns
+// the flow (no cross-wiring), in both inline and sharded dispatch modes.
+func TestServeSetMultiplexesConnections(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			const conns, flows, reports = 4, 2, 5
+			dir := t.TempDir()
+			mux, err := shmring.NewMux(filepath.Join(dir, "mux.bell"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mux.Close()
+			dp := make([]ipc.Transport, conns)
+			for i := 0; i < conns; i++ {
+				a, b, err := shmring.Pair(filepath.Join(dir, fmt.Sprintf("ring%d", i)),
+					shmring.Options{}, shmring.Options{Bell: mux.Bell()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := mux.Adopt(b); err != nil {
+					t.Fatal(err)
+				}
+				dp[i] = a
+				defer a.Close()
+				defer b.Close()
+			}
+			rt, err := runtime.New(runtime.Config{Shards: shards, Agent: agentCfg(nil)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+			served := make(chan error, 1)
+			go func() { served <- rt.ServeSet(mux) }()
+
+			// Each connection owns SIDs ci*100+1 ... ci*100+flows.
+			for ci, d := range dp {
+				for f := 1; f <= flows; f++ {
+					sid := uint32(ci*100 + f)
+					send(t, d, &proto.Create{SID: sid, MSS: 1448, InitCwnd: 14480})
+					for seq := uint32(1); seq <= reports; seq++ {
+						send(t, d, &proto.Measurement{SID: sid, Seq: seq, Fields: []float64{float64(seq)}})
+					}
+				}
+			}
+			// One SetCwnd per Create (echoAlg.Init) plus one per Measurement.
+			const wantReplies = flows * (1 + reports)
+			for ci, d := range dp {
+				lo, hi := uint32(ci*100+1), uint32(ci*100+flows)
+				for n := 0; n < wantReplies; n++ {
+					m := recvMsg(t, d, ci, n)
+					if sid := m.FlowSID(); sid < lo || sid > hi {
+						t.Fatalf("conn %d received reply for SID %d (owns %d..%d): cross-wired reply",
+							ci, sid, lo, hi)
+					}
+				}
+			}
+			// Closing the agent-side endpoints winds the loop down.
+			for _, tr := range mux.Transports() {
+				tr.Close()
+			}
+			select {
+			case err := <-served:
+				if err != nil && !errors.Is(err, ipc.ErrClosed) {
+					t.Fatalf("ServeSet returned %v", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("ServeSet did not return after all endpoints closed")
+			}
+			if got := rt.Stats().Dispatched; got < int64(conns*flows*(1+reports)) {
+				t.Fatalf("dispatched %d messages, want at least %d", got, conns*flows*(1+reports))
+			}
+		})
+	}
+}
+
+// TestServeSetRejectsUnpollable pins the error contract for transports that
+// cannot be polled (no TryRecvFrame).
+func TestServeSetRejectsUnpollable(t *testing.T) {
+	a, b := ipc.ChanPair(4)
+	defer a.Close()
+	defer b.Close()
+	rt, err := runtime.New(runtime.Config{Shards: 1, Agent: agentCfg(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.ServeSet(staticSet{a}); err == nil {
+		t.Fatal("ServeSet accepted a transport without TryRecvFrame")
+	}
+}
+
+type staticSet []ipc.Transport
+
+func (s staticSet) Transports() []ipc.Transport { return s }
+func (s staticSet) WaitAny() error              { return nil }
+
+func send(t *testing.T, tr ipc.Transport, m proto.Msg) {
+	t.Helper()
+	data, err := proto.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func recvMsg(t *testing.T, tr ipc.Transport, ci, n int) proto.Msg {
+	t.Helper()
+	data, err := tr.Recv()
+	if err != nil {
+		t.Fatalf("conn %d reply %d: %v", ci, n, err)
+	}
+	m, err := proto.Unmarshal(data)
+	if err != nil {
+		t.Fatalf("conn %d reply %d: %v", ci, n, err)
+	}
+	return m
+}
