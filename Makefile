@@ -49,7 +49,7 @@ bench-hotpath:
 benchstat:
 	@if command -v benchstat >/dev/null 2>&1; then \
 		$(GO) test -run='^$$' -bench=. -benchmem -count=5 \
-			./internal/proto ./internal/netsim ./internal/ipc/shmring > bench/current.txt && \
+			./internal/proto ./internal/netsim ./internal/ipc/shmring ./internal/lang > bench/current.txt && \
 		benchstat bench/baseline.txt bench/current.txt; \
 	else \
 		echo "benchstat not installed; skipping comparison."; \
@@ -123,6 +123,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzUnmarshal$$' -fuzztime=$(FUZZTIME) ./internal/proto
 	$(GO) test -run='^$$' -fuzz='^FuzzCreateRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/proto
 	$(GO) test -run='^$$' -fuzz='^FuzzSnapshotRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/proto
+	$(GO) test -run='^$$' -fuzz='^FuzzStackVsRegister$$' -fuzztime=$(FUZZTIME) ./internal/lang
 
 fmt:
 	gofmt -l -w .

@@ -13,6 +13,11 @@ func TestDecoderAlias(t *testing.T)   { RunTest(t, DecoderAlias, "decoderalias")
 func TestSimDeterminism(t *testing.T) { RunTest(t, SimDeterminism, "netsim") }
 func TestLockOrder(t *testing.T)      { RunTest(t, LockOrder, "lockorder") }
 
+// TestSimDeterminismLang covers the fold-VM compiler package's scope: the
+// lang corpus mirrors compiler-shaped hazards (memo-map ranges feeding
+// emission, entropy in instruction selection).
+func TestSimDeterminismLang(t *testing.T) { RunTest(t, SimDeterminism, "lang") }
+
 // TestSimDeterminismScope runs simdeterminism over a package outside its
 // scope: the identical constructs must produce no diagnostics.
 func TestSimDeterminismScope(t *testing.T) { RunTest(t, SimDeterminism, "notsim") }

@@ -33,8 +33,11 @@ var SimDeterminism = &Analyzer{
 // applies to. supervise is here because the supervisor and standby must be
 // drivable entirely from a netsim.Clock — failover experiments replay
 // bit-identically only if the HA layer never reads the host clock or spawns
-// its own goroutines.
-var deterministicPkgs = []string{"netsim", "tcp", "nativecc", "experiments", "supervise"}
+// its own goroutines. lang is here because both fold VMs (the stack
+// reference and the register backend) promise bit-identical replay: the
+// compilers must never let host entropy — clocks, global rand, map
+// iteration order — leak into instruction selection or pool layout.
+var deterministicPkgs = []string{"netsim", "tcp", "nativecc", "experiments", "supervise", "lang"}
 
 // wallClockFuncs are time-package functions that read or wait on the host
 // clock.

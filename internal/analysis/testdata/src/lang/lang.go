@@ -1,0 +1,91 @@
+// Package lang is the analysistest corpus for the simdeterminism analyzer
+// over the fold-VM compiler package: its import path ends in "lang",
+// putting it in scope. The cases mirror the hazards of a compiler that
+// promises bit-identical output — host entropy must never reach
+// instruction selection, constant-pool layout, or emission order.
+package lang
+
+import (
+	"math/rand"
+	"time"
+)
+
+type inst struct {
+	op  uint8
+	arg uint16
+}
+
+type compiler struct {
+	insts  []inst
+	consts []float64
+	memo   map[string]uint16
+}
+
+func (c *compiler) Emit(in inst) { c.insts = append(c.insts, in) }
+
+// --- positive cases ---
+
+// flushMemo ranges a map straight into the instruction stream: pool/emit
+// order would change run to run.
+func (c *compiler) flushMemo() {
+	for _, slot := range c.memo { // want `map iteration order feeds an append`
+		c.consts = append(c.consts, float64(slot))
+	}
+}
+
+// emitFromMemo feeds an emission call from map order.
+func (c *compiler) emitFromMemo() {
+	for _, slot := range c.memo { // want `map iteration order feeds Emit call`
+		c.Emit(inst{op: 1, arg: slot})
+	}
+}
+
+// jitterSeed uses the wall clock inside the deterministic package.
+func jitterSeed() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+// shuffleInsts uses the global rand source.
+func (c *compiler) shuffleInsts() {
+	rand.Shuffle(len(c.insts), func(i, j int) { // want `global rand.Shuffle`
+		c.insts[i], c.insts[j] = c.insts[j], c.insts[i]
+	})
+}
+
+// compileAsync spawns a goroutine: emission order would depend on the
+// scheduler.
+func (c *compiler) compileAsync() {
+	go c.flushMemo() // want `goroutine spawn in deterministic package`
+}
+
+// --- negative cases ---
+
+// lookupMemo reads the map without ordering consequences.
+func (c *compiler) lookupMemo(key string) (uint16, bool) {
+	slot, ok := c.memo[key]
+	return slot, ok
+}
+
+// purgeMemo ranges a map but only deletes from it — no ordered sink.
+func (c *compiler) purgeMemo(slot uint16) {
+	for k, v := range c.memo {
+		if v == slot {
+			delete(c.memo, k)
+		}
+	}
+}
+
+// collectSorted gathers keys in traversal order from a slice, then emits:
+// the deterministic idiom the VM compilers use.
+func (c *compiler) collectSorted(keys []string) {
+	for _, k := range keys {
+		if slot, ok := c.memo[k]; ok {
+			c.Emit(inst{op: 2, arg: slot})
+		}
+	}
+}
+
+// seededRand constructs an explicitly seeded source, which is allowed.
+func seededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,79 @@
+package datapath_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/ccp-repro/ccp/internal/datapath"
+	"github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/proto"
+	"github.com/ccp-repro/ccp/internal/tcp"
+)
+
+// TestBackendsBitIdentical drives the same simulated flow under the same
+// fold+control program once per VM backend and requires the two runs to be
+// indistinguishable: every report bit-identical, every control decision
+// landing on the same window. The simulator is deterministic, so the only
+// possible source of divergence is the expression engine itself.
+func TestBackendsBitIdentical(t *testing.T) {
+	run := func(stackVM bool) (msgs []proto.Msg, cwnd int, rate float64) {
+		r := newRig(t, link8(), tcp.Options{}, datapath.Config{StackVM: stackVM})
+		r.flow.Conn.Start()
+		fold := &lang.FoldSpec{
+			Regs: []lang.RegDef{
+				{Name: "base_rtt", Init: 1e9},
+				{Name: "s_rtt", Init: 0},
+				{Name: "acked", Init: 0},
+			},
+			Updates: []lang.Assign{
+				{Dst: "base_rtt", E: lang.Min(lang.V("base_rtt"), lang.V("pkt.rtt"))},
+				{Dst: "s_rtt", E: lang.Add(lang.Mul(lang.C(0.875), lang.V("s_rtt")), lang.Mul(lang.C(0.125), lang.V("pkt.rtt")))},
+				{Dst: "acked", E: lang.Add(lang.V("acked"), lang.V("pkt.acked"))},
+			},
+		}
+		p := lang.NewProgram().
+			MeasureFold(fold).
+			Cwnd(lang.Add(lang.V("cwnd"), lang.Ite(
+				lang.Gt(lang.V("pkt.lost"), lang.C(0)),
+				lang.C(0),
+				lang.V("mss")))).
+			WaitRtts(1).
+			Report().
+			MustBuild()
+		install(t, r, p)
+		r.sim.Run(2 * time.Second)
+		return r.sent, r.flow.Conn.Cwnd(), r.flow.Conn.PacingRate()
+	}
+
+	sMsgs, sCwnd, sRate := run(true)
+	rMsgs, rCwnd, rRate := run(false)
+
+	if sCwnd != rCwnd || sRate != rRate {
+		t.Fatalf("final flow state diverged: stack cwnd=%d rate=%v, register cwnd=%d rate=%v",
+			sCwnd, sRate, rCwnd, rRate)
+	}
+	if len(sMsgs) != len(rMsgs) {
+		t.Fatalf("message counts diverged: stack=%d register=%d", len(sMsgs), len(rMsgs))
+	}
+	for i := range sMsgs {
+		sm, sOK := sMsgs[i].(*proto.Measurement)
+		rm, rOK := rMsgs[i].(*proto.Measurement)
+		if sOK != rOK {
+			t.Fatalf("msg %d: type diverged: %T vs %T", i, sMsgs[i], rMsgs[i])
+		}
+		if !sOK {
+			continue
+		}
+		if len(sm.Fields) != len(rm.Fields) {
+			t.Fatalf("msg %d: field counts diverged: %d vs %d", i, len(sm.Fields), len(rm.Fields))
+		}
+		for j := range sm.Fields {
+			if math.Float64bits(sm.Fields[j]) != math.Float64bits(rm.Fields[j]) {
+				t.Fatalf("msg %d field %d: stack=%v (%#x) register=%v (%#x)",
+					i, j, sm.Fields[j], math.Float64bits(sm.Fields[j]),
+					rm.Fields[j], math.Float64bits(rm.Fields[j]))
+			}
+		}
+	}
+}

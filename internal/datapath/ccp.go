@@ -82,6 +82,12 @@ type Config struct {
 	// Metrics optionally receives datapath counters (reports sent, batch
 	// sizes, fallback activations). Nil is valid.
 	Metrics *metrics.Registry
+	// StackVM runs folds and control-program expressions on the reference
+	// stack interpreter instead of the register VM. The two backends are
+	// bit-identical (pinned by the differential fuzz target in
+	// internal/lang); this is the escape hatch and the A-side of the
+	// hot-path benchmarks.
+	StackVM bool
 }
 
 // Stats counts the runtime's activity for experiments and tests.
@@ -138,7 +144,7 @@ type CCP struct {
 
 	prog      *lang.Program
 	fold      *lang.CompiledFold
-	ctrl      []*lang.Code // compiled expression per instruction (nil for Report)
+	ctrl      []ctrlCode // compiled expression per instruction (zero for Report)
 	vars      []float64
 	exprStack []float64
 
@@ -489,24 +495,48 @@ func (d *CCP) Resync() {
 	})
 }
 
+// ctrlCode is one control-program expression compiled for both backends;
+// eval dispatches on Config.StackVM. Report instructions leave it zero.
+type ctrlCode struct {
+	stack *lang.Code
+	reg   *lang.RegCode
+}
+
+// eval runs a control-program expression on the configured backend.
+func (d *CCP) eval(code ctrlCode) float64 {
+	if d.cfg.StackVM {
+		return code.stack.Eval(d.vars, d.exprStack)
+	}
+	return code.reg.Eval(d.vars)
+}
+
 // install compiles and activates a program.
 func (d *CCP) install(p *lang.Program) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	backend := lang.BackendRegister
+	if d.cfg.StackVM {
+		backend = lang.BackendStack
+	}
 	var fold *lang.CompiledFold
 	var regNames []string
 	if p.Measure.Mode == lang.MeasureFold {
 		var err error
-		fold, err = lang.CompileFold(p.Measure.Fold)
+		fold, err = lang.CompileFoldBackend(p.Measure.Fold, backend)
 		if err != nil {
 			return err
 		}
 		regNames = p.Measure.Fold.RegNames()
 	}
 	resolve := lang.StdResolver(regNames)
-	ctrl := make([]*lang.Code, len(p.Instrs))
+	nvars := lang.VarTableSize(len(regNames))
+	ctrl := make([]ctrlCode, len(p.Instrs))
 	maxStack := 0
+	frameLen := nvars
+	if fold != nil && fold.FrameLen() > frameLen {
+		frameLen = fold.FrameLen()
+	}
 	for i, in := range p.Instrs {
 		var e lang.Expr
 		switch n := in.(type) {
@@ -525,10 +555,17 @@ func (d *CCP) install(p *lang.Program) error {
 		if err != nil {
 			return err
 		}
+		reg, err := lang.CompileReg(e, resolve, nvars)
+		if err != nil {
+			return err
+		}
 		if code.MaxStack > maxStack {
 			maxStack = code.MaxStack
 		}
-		ctrl[i] = code
+		if reg.FrameLen > frameLen {
+			frameLen = reg.FrameLen
+		}
+		ctrl[i] = ctrlCode{stack: code, reg: reg}
 	}
 
 	// Activation point: no errors possible below.
@@ -538,11 +575,11 @@ func (d *CCP) install(p *lang.Program) error {
 	if cap(d.exprStack) < maxStack {
 		d.exprStack = make([]float64, 0, maxStack)
 	}
-	nregs := 0
-	if fold != nil {
-		nregs = fold.NumRegs()
-	}
-	d.vars = make([]float64, lang.VarTableSize(nregs))
+	// Size the table to the largest register-VM frame so every fold Step and
+	// control eval takes the zero-copy in-place path. The slots past the
+	// variable table are VM scratch: each program writes its temps before
+	// reading them (verified at compile time), so the codes can share them.
+	d.vars = make([]float64, frameLen)
 	if fold != nil {
 		fold.InitRegs(d.vars)
 	}
@@ -621,25 +658,25 @@ func (d *CCP) resume() {
 		switch in.(type) {
 		case lang.SetRate:
 			d.refreshFlowVars()
-			rate := code.Eval(d.vars, d.exprStack)
+			rate := d.eval(code)
 			if !d.fallbackActive && d.conn != nil {
 				d.conn.SetPacingRate(clampRate(rate))
 				d.refreshFlowVars()
 			}
 		case lang.SetCwnd:
 			d.refreshFlowVars()
-			cwnd := code.Eval(d.vars, d.exprStack)
+			cwnd := d.eval(code)
 			if !d.fallbackActive {
 				d.applyCwnd(clampCwnd(cwnd))
 				d.refreshFlowVars()
 			}
 		case lang.Wait:
-			secs := code.Eval(d.vars, d.exprStack)
+			secs := d.eval(code)
 			d.waitedPass = true
 			d.scheduleWait(secsToDur(secs))
 			return
 		case lang.WaitRtts:
-			rtts := code.Eval(d.vars, d.exprStack)
+			rtts := d.eval(code)
 			d.waitedPass = true
 			d.scheduleWait(d.rttDur(rtts))
 			return

@@ -13,23 +13,61 @@ func TestAllocsFoldStep(t *testing.T) {
 	if testenv.RaceEnabled {
 		t.Skip("allocation counts are inflated under -race")
 	}
-	cf, err := CompileFold(vegasFold())
+	for _, bk := range []struct {
+		name    string
+		backend Backend
+	}{{"register", BackendRegister}, {"stack", BackendStack}} {
+		t.Run(bk.name, func(t *testing.T) {
+			cf, err := CompileFoldBackend(vegasFold(), bk.backend)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// FrameLen-sized table: the register backend's zero-copy path.
+			vars := make([]float64, cf.FrameLen())
+			cf.InitRegs(vars)
+			vars[PktFieldSlot(FieldRTT)] = 0.1
+			vars[FlowVarSlot(FlowCwnd)] = 14480
+			vars[FlowVarSlot(FlowMSS)] = 1448
+			if allocs := testing.AllocsPerRun(1000, func() { cf.Step(vars) }); allocs != 0 {
+				t.Fatalf("CompiledFold.Step allocated %.1f times per op, want 0", allocs)
+			}
+
+			// The staging path for minimum-size tables must stay free too.
+			short := make([]float64, VarTableSize(cf.NumRegs()))
+			cf.InitRegs(short)
+			if allocs := testing.AllocsPerRun(1000, func() { cf.Step(short) }); allocs != 0 {
+				t.Fatalf("CompiledFold.Step (staged) allocated %.1f times per op, want 0", allocs)
+			}
+
+			// Reading the registers back into a reused destination is also on
+			// the report path and must stay free.
+			dst := make([]float64, 0, cf.NumRegs())
+			if allocs := testing.AllocsPerRun(1000, func() { dst = cf.ReadRegs(vars, dst[:0]) }); allocs != 0 {
+				t.Fatalf("CompiledFold.ReadRegs allocated %.1f times per op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestAllocsRegExprEval pins control-expression evaluation on the register
+// VM at zero allocations, on both the in-place and the defensive
+// short-table paths (the scratch frame is preallocated at compile time).
+func TestAllocsRegExprEval(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	e := Ite(Gt(V("pkt.lost"), C(0)), Mul(C(0.5), V("cwnd")), Add(V("cwnd"), V("mss")))
+	code, err := CompileReg(e, StdResolver(nil), VarTableSize(0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	vars := make([]float64, VarTableSize(cf.NumRegs()))
-	cf.InitRegs(vars)
-	vars[PktFieldSlot(FieldRTT)] = 0.1
-	vars[FlowVarSlot(FlowCwnd)] = 14480
-	vars[FlowVarSlot(FlowMSS)] = 1448
-	if allocs := testing.AllocsPerRun(1000, func() { cf.Step(vars) }); allocs != 0 {
-		t.Fatalf("CompiledFold.Step allocated %.1f times per op, want 0", allocs)
+	full := make([]float64, code.FrameLen)
+	full[FlowVarSlot(FlowCwnd)] = 14480
+	if allocs := testing.AllocsPerRun(1000, func() { code.Eval(full) }); allocs != 0 {
+		t.Fatalf("RegCode.Eval allocated %.1f times per op, want 0", allocs)
 	}
-
-	// Reading the registers back into a reused destination is also on the
-	// report path and must stay free.
-	dst := make([]float64, 0, cf.NumRegs())
-	if allocs := testing.AllocsPerRun(1000, func() { dst = cf.ReadRegs(vars, dst[:0]) }); allocs != 0 {
-		t.Fatalf("CompiledFold.ReadRegs allocated %.1f times per op, want 0", allocs)
+	short := make([]float64, int(NumPktFields))
+	if allocs := testing.AllocsPerRun(1000, func() { code.Eval(short) }); allocs != 0 {
+		t.Fatalf("RegCode.Eval (short table) allocated %.1f times per op, want 0", allocs)
 	}
 }

@@ -247,30 +247,35 @@ func b2f(b bool) float64 {
 	return 0
 }
 
-// Vars returns the sorted set of variable names referenced by e.
+// Vars returns the sorted set of variable names referenced by e. Names are
+// gathered in traversal order and deduplicated after sorting, so the result
+// never depends on map iteration order.
 func Vars(e Expr) []string {
-	set := map[string]bool{}
-	collectVars(e, set)
-	out := make([]string, 0, len(set))
-	for k := range set {
-		out = append(out, k)
-	}
+	var out []string
+	out = collectVars(e, out)
 	sortStrings(out)
-	return out
+	dedup := out[:0]
+	for i, name := range out {
+		if i == 0 || name != out[i-1] {
+			dedup = append(dedup, name)
+		}
+	}
+	return dedup
 }
 
-func collectVars(e Expr, set map[string]bool) {
+func collectVars(e Expr, out []string) []string {
 	switch n := e.(type) {
 	case Var:
-		set[string(n)] = true
+		out = append(out, string(n))
 	case *Bin:
-		collectVars(n.L, set)
-		collectVars(n.R, set)
+		out = collectVars(n.L, out)
+		out = collectVars(n.R, out)
 	case *If:
-		collectVars(n.Cond, set)
-		collectVars(n.Then, set)
-		collectVars(n.Else, set)
+		out = collectVars(n.Cond, out)
+		out = collectVars(n.Then, out)
+		out = collectVars(n.Else, out)
 	}
+	return out
 }
 
 func sortStrings(s []string) {

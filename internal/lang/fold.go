@@ -65,21 +65,45 @@ func (f *FoldSpec) regNames() []string {
 // RegNames returns the register names in declaration (report) order.
 func (f *FoldSpec) RegNames() []string { return f.regNames() }
 
+// Backend selects the execution engine for compiled folds and expressions.
+// The register VM is the default per-ACK engine; the stack interpreter is
+// kept as the reference implementation the differential fuzz target
+// compares against (and as an escape hatch).
+type Backend uint8
+
+const (
+	// BackendRegister runs the three-address register VM (regvm.go).
+	BackendRegister Backend = iota
+	// BackendStack runs the reference stack interpreter (compile.go).
+	BackendStack
+)
+
 // CompiledFold is a FoldSpec lowered to bytecode for per-ACK execution.
+// Both backends are compiled; Step dispatches on the selected one.
 type CompiledFold struct {
-	Spec  *FoldSpec
-	codes []*Code
-	dsts  []int // variable-table slots of each update's destination
-	stack []float64
+	Spec    *FoldSpec
+	backend Backend
+	reg     *RegCode // whole fold body as one register program
+	codes   []*Code  // stack reference: one program per update
+	dsts    []int    // variable-table slots of each update's destination
+	stack   []float64
 }
 
-// CompileFold validates and compiles f.
+// CompileFold validates and compiles f for the default register backend.
 func CompileFold(f *FoldSpec) (*CompiledFold, error) {
+	return CompileFoldBackend(f, BackendRegister)
+}
+
+// CompileFoldBackend validates and compiles f, selecting the Step engine.
+// Both engines are always compiled — the stack programs double as the
+// reference for differential testing — so backend choice never changes
+// what validates.
+func CompileFoldBackend(f *FoldSpec, backend Backend) (*CompiledFold, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
 	resolve := StdResolver(f.regNames())
-	cf := &CompiledFold{Spec: f}
+	cf := &CompiledFold{Spec: f, backend: backend}
 	maxStack := 0
 	for _, a := range f.Updates {
 		code, err := Compile(a.E, resolve)
@@ -94,11 +118,25 @@ func CompileFold(f *FoldSpec) (*CompiledFold, error) {
 		}
 	}
 	cf.stack = make([]float64, 0, maxStack)
+	reg, err := compileFoldReg(f)
+	if err != nil {
+		return nil, err
+	}
+	cf.reg = reg
 	return cf, nil
 }
 
 // NumRegs returns the number of registers.
 func (cf *CompiledFold) NumRegs() int { return len(cf.Spec.Regs) }
+
+// Backend returns the engine Step dispatches to.
+func (cf *CompiledFold) Backend() Backend { return cf.backend }
+
+// FrameLen returns the register-VM frame size: the variable table plus the
+// fold's temporaries. Callers that size vars to FrameLen (instead of the
+// minimum VarTableSize) get the zero-copy Step fast path; the extra slots
+// are scratch the datapath never reads.
+func (cf *CompiledFold) FrameLen() int { return cf.reg.FrameLen }
 
 // InitRegs resets the register slots of vars to their declared initial
 // values. vars must be a full variable table (VarTableSize(NumRegs())).
@@ -109,11 +147,28 @@ func (cf *CompiledFold) InitRegs(vars []float64) {
 }
 
 // Step folds one packet into the registers. vars holds the current packet
-// fields, flow variables, and registers; register slots are updated in
-// place. Allocation-free.
+// fields, flow variables, and registers (at least VarTableSize(NumRegs())
+// slots); register slots are updated in place. Allocation-free on both
+// backends; on the register backend, vars of FrameLen() slots additionally
+// skip the staging copy.
 func (cf *CompiledFold) Step(vars []float64) {
-	for i, code := range cf.codes {
-		vars[cf.dsts[i]] = code.Eval(vars, cf.stack)
+	if cf.backend == BackendStack {
+		for i, code := range cf.codes {
+			vars[cf.dsts[i]] = code.Eval(vars, cf.stack)
+		}
+		return
+	}
+	if len(vars) >= cf.reg.FrameLen {
+		cf.reg.Run(vars)
+		return
+	}
+	// vars covers the variable table but not the temp slots: stage into the
+	// compile-time scratch frame and copy the register slots that fit back
+	// (an undersized table simply cannot observe the trailing registers).
+	f := cf.reg.shortFrame(vars)
+	cf.reg.Run(f)
+	if lo, hi := RegSlot(0), min(cf.reg.NVars, len(vars)); hi > lo {
+		copy(vars[lo:hi], f[lo:hi])
 	}
 }
 

@@ -25,10 +25,17 @@ func randomProgram(rng *rand.Rand) *Program {
 		}
 		nupd := 1 + rng.Intn(3)
 		for i := 0; i < nupd; i++ {
-			fold.Updates = append(fold.Updates, Assign{
-				Dst: regNames[rng.Intn(len(regNames))],
-				E:   randomExprOver(rng, 3, regNames),
-			})
+			dst := regNames[rng.Intn(len(regNames))]
+			var e Expr
+			if rng.Intn(3) == 0 {
+				// Accumulate shape (dst = op(dst, x)): the register
+				// backend's destination-retargeting fusion target.
+				accOps := []BinKind{OpMin, OpMax, OpAdd}
+				e = &Bin{accOps[rng.Intn(len(accOps))], Var(dst), randomExprOver(rng, 2, regNames)}
+			} else {
+				e = randomExprOver(rng, 3, regNames)
+			}
+			fold.Updates = append(fold.Updates, Assign{Dst: dst, E: e})
 		}
 		p.Measure = MeasureSpec{Mode: MeasureFold, Fold: fold}
 	default:
@@ -73,12 +80,40 @@ func randomExprOver(rng *rand.Rand, depth int, regs []string) Expr {
 			return Var(flowVarNames[rng.Intn(int(NumFlowVars))])
 		}
 	}
-	if rng.Intn(6) == 0 {
+	switch rng.Intn(12) {
+	case 0, 1:
 		return &If{
 			randomExprOver(rng, depth-1, regs),
 			randomExprOver(rng, depth-1, regs),
 			randomExprOver(rng, depth-1, regs),
 		}
+	case 2:
+		// EWMA shape a*x + (1-a)*y: the register backend's fused form.
+		a := math.Trunc(rng.Float64()*1000) / 1000
+		return &Bin{OpAdd,
+			&Bin{OpMul, Const(a), randomExprOver(rng, depth-1, regs)},
+			&Bin{OpMul, Const(1 - a), randomExprOver(rng, depth-1, regs)},
+		}
+	case 3:
+		// Select-of-comparison: fused into a single dispatch.
+		cmps := []BinKind{OpLt, OpLe, OpGt, OpGe, OpEq, OpNe}
+		return &If{
+			&Bin{cmps[rng.Intn(len(cmps))],
+				randomExprOver(rng, depth-1, regs),
+				randomExprOver(rng, depth-1, regs)},
+			randomExprOver(rng, depth-1, regs),
+			randomExprOver(rng, depth-1, regs),
+		}
+	case 4:
+		// var ⊕ const and const ⊕ var: the inline-constant forms, with
+		// constant-left placement to exercise canonicalization.
+		op := BinKind(rng.Intn(int(numBinKinds)))
+		c := Const(math.Trunc(rng.Float64()*64) / 2)
+		v := randomExprOver(rng, 0, regs)
+		if rng.Intn(2) == 0 {
+			return &Bin{op, c, v}
+		}
+		return &Bin{op, v, c}
 	}
 	return &Bin{
 		BinKind(rng.Intn(int(numBinKinds))),
