@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-scale bench-scale-smoke bench-hotpath benchstat test-allocs test-debugpool test-race-robust test-ha vet lint fmt check fuzz-smoke examples experiments clean
+.PHONY: all build test test-short bench bench-scale bench-scale-smoke bench-hotpath benchstat test-allocs test-debugpool test-race-robust test-ha vet lint verify-programs fmt check fuzz-smoke examples experiments clean
 
 all: build test
 
@@ -89,12 +89,23 @@ test-ha:
 vet:
 	$(GO) vet ./...
 
-# The repo's own invariant checker: four go/analysis-style passes
-# (bufrelease, decoderalias, simdeterminism, lockorder) over the whole tree.
-# `go run ./cmd/ccp-lint -json ./...` emits machine-readable diagnostics for
-# CI annotation; see DESIGN.md §8 for what each pass enforces.
+# The repo's own invariant checker: five go/analysis-style passes
+# (bufrelease, decoderalias, simdeterminism, lockorder, dslverify) over the
+# whole tree. `go run ./cmd/ccp-lint -json ./...` emits machine-readable
+# diagnostics for CI annotation; see DESIGN.md §8 and §13 for what each pass
+# enforces.
 lint:
 	$(GO) run ./cmd/ccp-lint ./...
+
+# Program-verifier gate: every statically-constructed datapath program in
+# the tree must pass the absint Install-gate checks (the dslverify lint
+# pass), every registered algorithm's Install-time programs must verify
+# clean under the datapath profile, and the pinned rejection table must
+# stay refused (the corpus tests in internal/lang/absint).
+verify-programs:
+	$(GO) run ./cmd/ccp-lint -run dslverify ./...
+	$(GO) test -count=1 -run 'TestRegisteredAlgorithmsVerifyClean|TestRejectionTable' \
+		./internal/lang/absint
 
 # Runtime ownership checking for pooled frames: Release poisons the payload
 # and records owner stacks, so double-Release and write-after-Release panic
@@ -106,14 +117,16 @@ test-debugpool:
 		./internal/bridge ./internal/runtime ./internal/core
 
 # Pre-merge gate: vet, the invariant analyzers, the race-enabled short test
-# suite, the zero-alloc regression pass, the debugpool ownership lane, and a
-# short fuzz pass over the wire-protocol decoders (the surface exposed to a
-# faulty or corrupting channel). ~2 minutes total.
+# suite, the zero-alloc regression pass, the debugpool ownership lane, the
+# program-verifier corpus, and a short fuzz pass over the wire-protocol
+# decoders (the surface exposed to a faulty or corrupting channel).
+# ~2 minutes total.
 check: vet lint
 	$(GO) test -race -short ./...
 	$(MAKE) test-allocs
 	$(MAKE) test-debugpool
 	$(MAKE) test-ha
+	$(MAKE) verify-programs
 	$(MAKE) fuzz-smoke
 
 # 10-second smoke of each proto fuzz target; `go test -fuzz` accepts one

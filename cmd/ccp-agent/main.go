@@ -29,6 +29,7 @@ import (
 	"github.com/ccp-repro/ccp/internal/algorithms"
 	"github.com/ccp-repro/ccp/internal/core"
 	"github.com/ccp-repro/ccp/internal/ipc"
+	"github.com/ccp-repro/ccp/internal/lang/absint"
 	"github.com/ccp-repro/ccp/internal/supervise"
 )
 
@@ -44,6 +45,7 @@ func main() {
 			"run as a warm standby: consume snapshot replication on the listen socket, promote when the primary's stream drops")
 		replicateTo = flag.String("replicate", "",
 			"standby socket to replicate per-flow snapshots to (\"\" = no replication)")
+		verifyFlag     = flag.String("verify", "off", "agent-side pre-flight program verification: strict|warn|off")
 		replicateEvery = flag.Duration("replicate-interval", 50*time.Millisecond,
 			"snapshot replication period (with -replicate)")
 	)
@@ -70,11 +72,16 @@ func main() {
 	if *verbose {
 		logf = log.Printf
 	}
+	vmode, err := absint.ParseMode(*verifyFlag)
+	if err != nil {
+		log.Fatalf("ccp-agent: %v", err)
+	}
 	agentCfg := core.AgentConfig{
 		Registry:   reg,
 		DefaultAlg: *defaultAlg,
 		Policy:     policy,
 		Logf:       logf,
+		Verify:     vmode,
 	}
 
 	os.Remove(*listen)

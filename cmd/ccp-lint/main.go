@@ -2,7 +2,8 @@
 // go/analysis-style passes in internal/analysis that enforce the hot-path
 // ownership, aliasing, and determinism contracts the compiler cannot see
 // (bufpool single-owner frames, proto.Decoder scratch aliasing, simulator
-// determinism, and mutex ordering).
+// determinism, mutex ordering, and — via the Install-gate verifier — the
+// safety of statically-constructed datapath programs).
 //
 // Usage:
 //
@@ -74,7 +75,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ccp-lint: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.Run(pkgs, analyzers)
+	// The full suite also runs the //lint:ownership hygiene pass (reasonless
+	// or stale directives); a -run filter skips it, since a partial analyzer
+	// set cannot tell a stale directive from one excusing an unrun analyzer.
+	var diags []analysis.Diagnostic
+	if *run == "" {
+		diags, err = analysis.RunAll(pkgs)
+	} else {
+		diags, err = analysis.Run(pkgs, analyzers)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ccp-lint: %v\n", err)
 		os.Exit(2)

@@ -53,10 +53,12 @@ func (p *PCC) Init(f *core.Flow) {
 // install programs the two-interval A/B trial.
 func (p *PCC) install(f *core.Flow) {
 	// The window is a safety cap, not the control: 2.5 trial-rate BDPs,
-	// evaluated against the live smoothed RTT in the datapath.
-	cwndCap := lang.Max(
+	// evaluated against the live smoothed RTT in the datapath. The outer Min
+	// keeps the write inside the datapath cwnd clamp, which the install-time
+	// verifier demands be explicit.
+	cwndCap := lang.Min(lang.Max(
 		lang.Mul(lang.C(p.rate*2.5), lang.V("srtt")),
-		lang.C(8*p.mss))
+		lang.C(8*p.mss)), lang.C(1<<30))
 	prog := lang.NewProgram().
 		MeasureEWMA().
 		Cwnd(cwndCap).

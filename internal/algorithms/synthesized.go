@@ -46,11 +46,13 @@ func (s *SynthesizedAIMD) Init(f *core.Flow) {
 			{Dst: "lost_s", E: lang.Add(lang.V("lost_s"), lang.V("pkt.lost"))},
 		},
 	}
-	update := lang.Ite(lang.Gt(lang.V("lost_s"), lang.C(0)),
+	// The Min keeps the additive-increase branch inside the datapath cwnd
+	// clamp, which the install-time verifier demands be explicit.
+	update := lang.Min(lang.Ite(lang.Gt(lang.V("lost_s"), lang.C(0)),
 		lang.Mul(lang.V("cwnd"), lang.C(s.DecreaseFactor)),
 		lang.Ite(lang.Gt(lang.V("acked_s"), lang.C(0)),
 			lang.Add(lang.V("cwnd"), lang.Mul(lang.C(s.IncreaseSegs), lang.V("mss"))),
-			lang.V("cwnd")))
+			lang.V("cwnd"))), lang.C(1<<30))
 	prog := lang.NewProgram().
 		MeasureFold(fold).
 		WaitRtts(1).

@@ -11,7 +11,10 @@
 //     bit-identical (no wall clock, global rand, goroutines, or map-order
 //     dependent event emission).
 //   - lockorder: Lock without a matching Unlock/defer, straight-line
-//     double-Lock, and inconsistent cross-function acquisition order.
+//     double-Lock, RWMutex write-lock upgrades, and inconsistent
+//     cross-function acquisition order.
+//   - dslverify: statically-constructed datapath programs (lang builder
+//     chains) must pass the absint Install-gate verifier.
 //
 // The upstream x/tools module is deliberately not a dependency: the
 // analyzers only need parsed+type-checked packages, which the standard
@@ -123,27 +126,44 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		sup := suppressedLines(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
-			var out []Diagnostic
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-				diags:     &out,
+		raw, err := runAnalyzers(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range raw {
+			if m := sup[d.File]; m != nil && m[d.Line] {
+				continue
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
-			}
-			for _, d := range out {
-				if m := sup[d.File]; m != nil && m[d.Line] {
-					continue
-				}
-				diags = append(diags, d)
-			}
+			diags = append(diags, d)
 		}
 	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+// runAnalyzers applies analyzers to one package, returning every diagnostic
+// before directive suppression.
+func runAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		var out []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &out,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		raw = append(raw, out...)
+	}
+	return raw, nil
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -157,12 +177,89 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
+}
+
+// ownershipDir is one //lint:ownership directive occurrence.
+type ownershipDir struct {
+	pos    token.Position
+	reason string
+}
+
+// RunAll applies the full analyzer suite plus directive hygiene: every
+// //lint:ownership comment must carry a non-empty reason, and must actually
+// suppress at least one diagnostic — an allowlist entry that suppresses
+// nothing is stale (the code it excused was fixed or moved) and rots into
+// a blanket waiver for whatever lands on that line next. Hygiene findings
+// are reported under the analyzer name "ownership".
+func RunAll(pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		raw, err := runAnalyzers(pkg, All())
+		if err != nil {
+			return nil, err
+		}
+		// Collect the package's directives with the line spans they cover.
+		var dirs []ownershipDir
+		used := map[int]bool{} // index into dirs
+		covers := map[string]map[int]int{}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ownershipDirective) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					reason := strings.TrimSpace(strings.TrimPrefix(c.Text, ownershipDirective))
+					m := covers[pos.Filename]
+					if m == nil {
+						m = make(map[int]int)
+						covers[pos.Filename] = m
+					}
+					m[pos.Line] = len(dirs)
+					m[pos.Line+1] = len(dirs)
+					dirs = append(dirs, ownershipDir{pos: pos, reason: reason})
+				}
+			}
+		}
+		for _, d := range raw {
+			if m := covers[d.File]; m != nil {
+				if idx, ok := m[d.Line]; ok {
+					used[idx] = true
+					continue
+				}
+			}
+			diags = append(diags, d)
+		}
+		for i, dir := range dirs {
+			if dir.reason == "" {
+				diags = append(diags, Diagnostic{
+					Analyzer: "ownership",
+					Pos:      dir.pos,
+					File:     dir.pos.Filename,
+					Line:     dir.pos.Line,
+					Col:      dir.pos.Column,
+					Message:  "ownership directive has no reason: state why the invariant is intentionally broken",
+				})
+			}
+			if !used[i] {
+				diags = append(diags, Diagnostic{
+					Analyzer: "ownership",
+					Pos:      dir.pos,
+					File:     dir.pos.Filename,
+					Line:     dir.pos.Line,
+					Col:      dir.pos.Column,
+					Message:  "stale ownership directive: it suppresses no diagnostic; remove it",
+				})
+			}
+		}
+	}
+	sortDiags(diags)
 	return diags, nil
 }
 
 // All returns every analyzer in this suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{BufRelease, DecoderAlias, SimDeterminism, LockOrder}
+	return []*Analyzer{BufRelease, DecoderAlias, SimDeterminism, LockOrder, DSLVerify}
 }
 
 // --- shared type helpers ---

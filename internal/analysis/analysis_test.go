@@ -13,6 +13,11 @@ func TestDecoderAlias(t *testing.T)   { RunTest(t, DecoderAlias, "decoderalias")
 func TestSimDeterminism(t *testing.T) { RunTest(t, SimDeterminism, "netsim") }
 func TestLockOrder(t *testing.T)      { RunTest(t, LockOrder, "lockorder") }
 
+// TestDSLVerify runs the Install-gate verifier pass over a corpus of
+// statically-constructed programs; the fixture imports the real lang
+// package, so builder-API or verifier drift breaks it immediately.
+func TestDSLVerify(t *testing.T) { RunTest(t, DSLVerify, "dslverify") }
+
 // TestSimDeterminismLang covers the fold-VM compiler package's scope: the
 // lang corpus mirrors compiler-shaped hazards (memo-map ranges feeding
 // emission, entropy in instruction selection).
@@ -63,7 +68,7 @@ func TestOwnershipSuppression(t *testing.T) {
 
 // TestAll ensures the registry stays in sync with the shipped analyzers.
 func TestAll(t *testing.T) {
-	want := []string{"bufrelease", "decoderalias", "simdeterminism", "lockorder"}
+	want := []string{"bufrelease", "decoderalias", "simdeterminism", "lockorder", "dslverify"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("All() = %d analyzers, want %d", len(got), len(want))
@@ -80,7 +85,9 @@ func TestAll(t *testing.T) {
 
 // TestTreeIsClean runs the full suite over the whole module — the same
 // gate as `make lint`. Every intentional invariant break in the tree must
-// carry a //lint:ownership directive; anything else is a regression.
+// carry a //lint:ownership directive with a reason; a directive that
+// suppresses nothing, or that gives no reason, fails the gate too (RunAll's
+// hygiene pass).
 func TestTreeIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-module type-check is slow; covered by make lint")
@@ -96,11 +103,67 @@ func TestTreeIsClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("loaded only %d packages; loader lost the tree", len(pkgs))
 	}
-	diags, err := Run(pkgs, All())
+	diags, err := RunAll(pkgs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}
+}
+
+// TestOwnershipHygiene pins RunAll's directive checks on the netsim corpus:
+// its one directive has a reason and suppresses a real diagnostic, so the
+// hygiene pass adds nothing; a synthetic stale or reasonless directive is
+// reported.
+func TestOwnershipHygiene(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := "testdata/src/netsim"
+	loader.RegisterDir("netsim", dir)
+	p, err := loader.LoadDir("netsim", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAll([]*Package{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Analyzer == "ownership" {
+			t.Errorf("healthy directive flagged: %s", d)
+		}
+	}
+
+	hyg, err := RunAll([]*Package{mustLoadTestPkg(t, loader, "ownershiphygiene", "testdata/src/ownershiphygiene")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stale, reasonless int
+	for _, d := range hyg {
+		if d.Analyzer != "ownership" {
+			continue
+		}
+		if strings.Contains(d.Message, "stale") {
+			stale++
+		}
+		if strings.Contains(d.Message, "no reason") {
+			reasonless++
+		}
+	}
+	if stale != 2 || reasonless != 1 {
+		t.Fatalf("hygiene findings: stale=%d reasonless=%d, want 2 and 1\nall: %v", stale, reasonless, hyg)
+	}
+}
+
+func mustLoadTestPkg(t *testing.T, loader *Loader, name, dir string) *Package {
+	t.Helper()
+	loader.RegisterDir(name, dir)
+	p, err := loader.LoadDir(name, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
 }

@@ -222,7 +222,11 @@ func checkLockPairing(pass *Pass, events []lockEvent) {
 }
 
 // checkDoubleLock reports re-locking a mutex that is still held on the
-// same straight-line path.
+// same straight-line path. For RWMutex the two modes conflict across keys:
+// Lock while the same instance is read-locked is the classic write-lock
+// upgrade (RLock is not upgradable, and sync.RWMutex writers block behind
+// readers, so the path deadlocks against itself), and RLock while
+// write-locked blocks the same way.
 func checkDoubleLock(pass *Pass, events []lockEvent) {
 	held := map[string]token.Pos{}
 	for _, ev := range events {
@@ -236,6 +240,15 @@ func checkDoubleLock(pass *Pass, events []lockEvent) {
 			if prev, ok := held[key]; ok && !ev.read {
 				pass.Reportf(ev.pos, "%s.%s while already held (locked at %s): self-deadlock on this path",
 					ev.name, lockName(ev.read), pass.Fset.Position(prev))
+			}
+			if !ev.read {
+				if prev, ok := held[ev.inst+"/r"]; ok {
+					pass.Reportf(ev.pos, "%s.Lock while read-locked (RLock at %s): write-lock upgrade self-deadlocks",
+						ev.name, pass.Fset.Position(prev))
+				}
+			} else if prev, ok := held[ev.inst]; ok {
+				pass.Reportf(ev.pos, "%s.RLock while write-locked (Lock at %s): self-deadlock on this path",
+					ev.name, pass.Fset.Position(prev))
 			}
 			held[key] = ev.pos
 		}

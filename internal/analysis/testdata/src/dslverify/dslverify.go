@@ -1,0 +1,73 @@
+// Package dslverify is the corpus for the dslverify analyzer: statically
+// constructed datapath programs, some that the Install-gate verifier
+// refuses (positive cases) and some it accepts or the decoder must skip
+// (negative cases). It imports the real lang package so the fixtures stay
+// honest against the real builder and verifier.
+package dslverify
+
+import (
+	"github.com/ccp-repro/ccp/internal/lang"
+)
+
+// unguardedDiv divides by a measurement that can be zero: the datapath
+// substitutes x/0 == 0 and the rate write goes to zero silently.
+var unguardedDiv = lang.NewProgram().
+	Rate(lang.Div(lang.C(1e6), lang.V("pkt.rtt"))). // want `fails verification: div-zero` `fails verification: bounds`
+	WaitRtts(1).
+	Report().
+	MustBuild()
+
+// unclampedCwnd doubles cwnd without a clamp: the interval escapes the
+// datapath's [0, 2^30] write bound.
+var unclampedCwnd = lang.NewProgram().
+	Cwnd(lang.Mul(lang.V("cwnd"), lang.C(2))). // want `fails verification: bounds`
+	WaitRtts(1).
+	Report().
+	MustBuild()
+
+// neverReports accumulates fold state forever: without a Report the
+// registers never reset and measurements never reach the agent. The
+// finding has no instruction to land on, so it reports at the chain.
+var neverReports = lang.NewProgram(). // want `fails verification: no-report`
+					MeasureFold(&lang.FoldSpec{
+		Regs:    []lang.RegDef{{Name: "acked", Init: 0}},
+		Updates: []lang.Assign{{Dst: "acked", E: lang.Add(lang.V("acked"), lang.V("pkt.acked"))}},
+	}).
+	Cwnd(lang.C(14480)).
+	WaitRtts(1).
+	MustBuild()
+
+// guardedAndClamped is the safe shape the verifier's diagnostics steer
+// toward: an epsilon-guarded divisor and an explicit clamp on the write.
+var guardedAndClamped = lang.NewProgram().
+	MeasureFold(&lang.FoldSpec{
+		Regs:    []lang.RegDef{{Name: "rtt", Init: 0.1}},
+		Updates: []lang.Assign{{Dst: "rtt", E: lang.Max(lang.V("pkt.rtt"), lang.C(1e-3))}},
+	}).
+	Rate(lang.Min(lang.Div(lang.Mul(lang.V("cwnd"), lang.C(2)), lang.Max(lang.V("rtt"), lang.C(1e-3))), lang.C(1e12))).
+	WaitRtts(1).
+	Report().
+	MustBuild()
+
+// dynamicProgram builds its expression from a runtime parameter: the
+// decoder cannot prove anything about it and must skip the site silently —
+// the runtime Install gate still covers it.
+func dynamicProgram(target float64) *lang.Program {
+	return lang.NewProgram().
+		Rate(lang.Div(lang.C(target), lang.V("pkt.rtt"))).
+		WaitRtts(1).
+		Report().
+		MustBuild()
+}
+
+// viaVariable routes the builder through a local: dynamic, skipped.
+func viaVariable() *lang.Program {
+	b := lang.NewProgram()
+	b = b.Rate(lang.Div(lang.C(1e6), lang.V("pkt.rtt")))
+	b = b.WaitRtts(1).Report()
+	p, err := b.Build()
+	if err != nil {
+		return nil
+	}
+	return p
+}

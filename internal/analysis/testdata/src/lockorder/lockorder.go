@@ -131,3 +131,45 @@ func consistentOrder(s *shard, m *mailbox) {
 	defer m.mu.Unlock()
 	m.items = m.items[:0]
 }
+
+// --- RWMutex cross-mode cases ---
+
+// Write-lock upgrade: RLock is not upgradable, so taking the write lock
+// while read-locked deadlocks against this very goroutine.
+func writeUpgrade(s *shard) {
+	s.rw.RLock()
+	s.rw.Lock() // want `write-lock upgrade self-deadlocks`
+	s.count++
+	s.rw.Unlock()
+	s.rw.RUnlock()
+}
+
+// The reverse: taking the read lock while write-locked blocks forever too.
+func readWhileWriteLocked(s *shard) int {
+	s.rw.Lock()
+	s.rw.RLock() // want `RLock while write-locked`
+	n := s.count
+	s.rw.RUnlock()
+	s.rw.Unlock()
+	return n
+}
+
+// Releasing the read lock before the write lock is the correct shape.
+func readThenWrite(s *shard) {
+	s.rw.RLock()
+	n := s.count
+	s.rw.RUnlock()
+	s.rw.Lock()
+	s.count = n + 1
+	s.rw.Unlock()
+}
+
+// Cross-mode conflicts are per instance: write-locking one RWMutex while
+// holding another's read lock is fine.
+func distinctInstances(a, b *shard) {
+	a.rw.RLock()
+	defer a.rw.RUnlock()
+	b.rw.Lock()
+	defer b.rw.Unlock()
+	b.count = a.count
+}

@@ -1,0 +1,32 @@
+// Package ownershiphygiene exercises RunAll's directive hygiene: directives
+// must give a reason, and must actually suppress a diagnostic.
+package ownershiphygiene
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// This directive suppresses a real diagnostic (missing unlock) but carries
+// no reason — the hygiene pass reports it as reasonless, not stale.
+func suppressedNoReason(b *box) {
+	//lint:ownership
+	b.mu.Lock()
+	b.n++
+}
+
+// A stale directive above a function that fires nothing.
+//
+//lint:ownership historical excuse for code that has since been fixed
+func clean(b *box) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func alsoClean(b *box) int {
+	//lint:ownership the diagnostic this excused is long gone
+	return b.n
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/ccp-repro/ccp/internal/ipc"
 	"github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/lang/absint"
 	"github.com/ccp-repro/ccp/internal/metrics"
 	"github.com/ccp-repro/ccp/internal/proto"
 )
@@ -24,6 +25,12 @@ type AgentConfig struct {
 	// Metrics, if set, receives agent counters (reports processed, batch
 	// sizes, flow churn) alongside the AgentStats snapshot. Nil is valid.
 	Metrics *metrics.Registry
+	// Verify pre-flights programs at Flow.Install with the internal/lang/absint
+	// verifier, before they ever reach the wire: strict makes Install return an
+	// error, warn logs the findings and sends anyway. The default is off — the
+	// datapath's own install gate is authoritative and the agent-side check
+	// only buys an earlier, richer diagnostic.
+	Verify absint.Mode
 }
 
 // AgentStats counts the agent's activity.
@@ -57,6 +64,10 @@ type AgentStats struct {
 	Restores int
 	// Heartbeats counts supervision probes echoed.
 	Heartbeats int
+	// InstallErrs counts datapath refusals of installed programs (verifier
+	// rejections, malformed encodings). Each one means the refusing flow kept
+	// running its previous program.
+	InstallErrs int
 }
 
 // Agent is the user-space congestion control plane: it multiplexes flows
@@ -273,6 +284,19 @@ func (a *Agent) handleLocked(m proto.Msg, reply func(proto.Msg) error) {
 		a.stats.FlowsClosed++
 		a.mClosed.Inc()
 		a.mLiveFlows.Set(int64(len(a.flows)))
+	case *proto.InstallErr:
+		// The datapath refused an Install (its §9 verifier gate, or a
+		// malformed encoding). The flow is fail-safe — the datapath keeps its
+		// previous program — so the agent's job is to surface the diagnostic
+		// and stop trusting that the refused program is live.
+		a.stats.InstallErrs++
+		st, ok := a.flows[v.SID]
+		if !ok {
+			a.stats.UnknownFlowMsg++
+			return
+		}
+		st.flow.noteInstallErr(v.Seq, v.Reason)
+		a.logf("agent: flow %d: datapath refused install seq %d: %s", v.SID, v.Seq, v.Reason)
 	case *proto.Heartbeat:
 		// Supervision probe: echo it so the sender measures true
 		// request→response latency through this agent's dispatch path. The
@@ -344,7 +368,8 @@ func (a *Agent) handleCreate(v *proto.Create, reply func(proto.Msg) error) {
 	}
 	// The Create's Seq is the newest control sequence the datapath has
 	// applied (nonzero on resync); the flow numbers its decisions above it.
-	flow := &Flow{Info: info, policy: policy, send: reply, ctrlSeq: v.Seq}
+	flow := &Flow{Info: info, policy: policy, send: reply, ctrlSeq: v.Seq,
+		verify: a.cfg.Verify, logf: a.logf}
 	// Replacing an existing SID (datapath restart or resync) releases the
 	// old state.
 	if old, exists := a.flows[v.SID]; exists {

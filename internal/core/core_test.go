@@ -5,6 +5,7 @@ import (
 
 	"github.com/ccp-repro/ccp/internal/ipc"
 	"github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/lang/absint"
 	"github.com/ccp-repro/ccp/internal/proto"
 )
 
@@ -508,5 +509,68 @@ func TestAgentDedupsCreates(t *testing.T) {
 	a.HandleMessage(createMsg(1), cap.send)
 	if alg.inits != 4 {
 		t.Fatalf("inits=%d", alg.inits)
+	}
+}
+
+func TestAgentSurfacesInstallErr(t *testing.T) {
+	alg := &recordAlg{}
+	a := newTestAgent(t, alg, nil)
+	cap := &capture{}
+	a.HandleMessage(createMsg(1), cap.send)
+
+	var flow *Flow
+	a.mu.Lock()
+	flow = a.flows[1].flow
+	a.mu.Unlock()
+
+	first := lang.NewProgram().Cwnd(lang.C(20000)).WaitRtts(1).Report().MustBuild()
+	second := lang.NewProgram().Cwnd(lang.C(30000)).WaitRtts(1).Report().MustBuild()
+	if err := flow.Install(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := flow.Install(second); err != nil {
+		t.Fatal(err)
+	}
+	refusedSeq := cap.msgs[len(cap.msgs)-1].(*proto.Install).Seq
+
+	// The datapath refuses the second install: the agent must count it, keep
+	// the diagnostic, and roll its program view back to the first program —
+	// the one actually still live in the datapath.
+	a.HandleMessage(&proto.InstallErr{SID: 1, Seq: refusedSeq, Reason: "bounds: instr 0"}, cap.send)
+	if a.Stats().InstallErrs != 1 {
+		t.Fatalf("InstallErrs=%d", a.Stats().InstallErrs)
+	}
+	if flow.InstallErrs() != 1 || flow.LastInstallErr() != "bounds: instr 0" {
+		t.Fatalf("flow refusal state: n=%d reason=%q", flow.InstallErrs(), flow.LastInstallErr())
+	}
+	got := float64(flow.Installed().Instrs[0].(lang.SetCwnd).E.(lang.Const))
+	if got != 20000 {
+		t.Fatalf("installed view not rolled back: cwnd const = %v", got)
+	}
+
+	// A refusal of an already-superseded install counts but must not roll back.
+	a.HandleMessage(&proto.InstallErr{SID: 1, Seq: refusedSeq - 1, Reason: "stale"}, cap.send)
+	if float64(flow.Installed().Instrs[0].(lang.SetCwnd).E.(lang.Const)) != 20000 {
+		t.Fatal("stale refusal moved the installed view")
+	}
+
+	// Refusals for unknown flows are counted as unknown-flow noise.
+	a.HandleMessage(&proto.InstallErr{SID: 99, Reason: "x"}, cap.send)
+	if a.Stats().UnknownFlowMsg == 0 {
+		t.Fatal("unknown-flow InstallErr not counted")
+	}
+}
+
+func TestFlowVerifyStrictRefusesUnsafeProgram(t *testing.T) {
+	f := &Flow{Info: FlowInfo{SID: 1, MSS: 1448}, verify: absint.ModeStrict}
+	unsafe := lang.NewProgram().
+		Rate(lang.Div(lang.C(1e6), lang.V("pkt.rtt"))).
+		WaitRtts(1).Report().MustBuild()
+	if err := f.Install(unsafe); err == nil {
+		t.Fatal("strict agent-side verify accepted an unsafe program")
+	}
+	safe := lang.NewProgram().Cwnd(lang.C(20000)).WaitRtts(1).Report().MustBuild()
+	if err := f.Install(safe); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/lang/absint"
 	"github.com/ccp-repro/ccp/internal/proto"
 )
 
@@ -45,6 +46,22 @@ type Flow struct {
 	// the program without re-marshalling it per snapshot tick.
 	progBytes []byte
 	created   time.Duration
+
+	// verify pre-flights programs at Install (AgentConfig.Verify); logf
+	// carries the agent's diagnostic sink (nil on probe flows).
+	verify absint.Mode
+	logf   func(format string, args ...any)
+
+	// Datapath install-refusal tracking: prevInstalled/prevProgBytes hold the
+	// program the datapath was running before the newest Install, so an
+	// InstallErr for that Install rolls the agent's view back to what is
+	// actually live (report-name alignment depends on it). lastInstallSeq is
+	// the control sequence of the newest Install sent.
+	prevInstalled  *lang.Program
+	prevProgBytes  []byte
+	lastInstallSeq uint32
+	installErrs    int
+	lastInstallErr string
 
 	// ctrlSeq numbers outgoing control messages (Install, SetCwnd, SetRate)
 	// in one shared sequence space, so the datapath can discard reordered or
@@ -96,18 +113,58 @@ func (f *Flow) Install(p *lang.Program) error {
 	if err := clamped.Validate(); err != nil {
 		return err
 	}
+	if f.verify == absint.ModeStrict || f.verify == absint.ModeWarn {
+		rep, err := absint.Analyze(clamped, absint.Datapath())
+		if err != nil {
+			return err
+		}
+		if rep.HasErrors() {
+			if f.verify == absint.ModeStrict {
+				return fmt.Errorf("core: flow %d: program refused by verifier: %w",
+					f.Info.SID, rep.Err())
+			}
+			f.logfSafe("core: flow %d: verifier: %v", f.Info.SID, rep.Err())
+		}
+	}
 	data, err := lang.MarshalProgram(clamped)
 	if err != nil {
 		return err
 	}
-	if err := f.emit(&proto.Install{SID: f.Info.SID, Seq: f.nextSeq(), Prog: data}); err != nil {
+	seq := f.nextSeq()
+	if err := f.emit(&proto.Install{SID: f.Info.SID, Seq: seq, Prog: data}); err != nil {
 		return err
 	}
+	f.prevInstalled, f.prevProgBytes = f.installed, f.progBytes
+	f.lastInstallSeq = seq
 	f.installed = clamped
 	f.progBytes = data
 	f.names = nil // report field names follow the installed program
 	return nil
 }
+
+func (f *Flow) logfSafe(format string, args ...any) {
+	if f.logf != nil {
+		f.logf(format, args...)
+	}
+}
+
+// noteInstallErr records a datapath install refusal. A refusal of the newest
+// Install rolls the agent's view of the installed program back to the one the
+// datapath actually kept, so report-field naming stays aligned; a refusal of
+// an older, already-superseded Install only counts.
+func (f *Flow) noteInstallErr(seq uint32, reason string) {
+	f.installErrs++
+	f.lastInstallErr = reason
+	if seq != 0 && seq == f.lastInstallSeq {
+		f.installed, f.progBytes = f.prevInstalled, f.prevProgBytes
+		f.names = nil
+	}
+}
+
+// InstallErrs returns how many of this flow's installs the datapath refused;
+// LastInstallErr is the most recent refusal diagnostic.
+func (f *Flow) InstallErrs() int       { return f.installErrs }
+func (f *Flow) LastInstallErr() string { return f.lastInstallErr }
 
 // SetCwnd directly sets the congestion window (bytes), clamped by policy.
 // It is the degenerate control path for datapaths without program support.

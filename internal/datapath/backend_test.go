@@ -34,10 +34,10 @@ func TestBackendsBitIdentical(t *testing.T) {
 		}
 		p := lang.NewProgram().
 			MeasureFold(fold).
-			Cwnd(lang.Add(lang.V("cwnd"), lang.Ite(
+			Cwnd(lang.Min(lang.Add(lang.V("cwnd"), lang.Ite(
 				lang.Gt(lang.V("pkt.lost"), lang.C(0)),
 				lang.C(0),
-				lang.V("mss")))).
+				lang.V("mss"))), lang.C(1<<30))).
 			WaitRtts(1).
 			Report().
 			MustBuild()

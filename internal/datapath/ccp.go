@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/lang/absint"
 	"github.com/ccp-repro/ccp/internal/metrics"
 	"github.com/ccp-repro/ccp/internal/nativecc"
 	"github.com/ccp-repro/ccp/internal/netsim"
@@ -88,7 +89,25 @@ type Config struct {
 	// internal/lang); this is the escape hatch and the A-side of the
 	// hot-path benchmarks.
 	StackVM bool
+	// Verify selects the install-time program verification policy
+	// (internal/lang/absint): strict refuses programs with install-blocking
+	// findings (the previous program stays in force and the agent is told
+	// via proto.InstallErr), warn counts them but installs anyway, off skips
+	// analysis. ModeDefault resolves to the package default (strict unless
+	// changed with SetDefaultVerify).
+	Verify absint.Mode
 }
+
+// defaultVerify is the verification mode used when Config.Verify is
+// ModeDefault. The datapath is a trust boundary (§2: it executes programs
+// handed to it by a less-trusted agent), so the default is strict.
+var defaultVerify = absint.ModeStrict
+
+// SetDefaultVerify sets the process-wide default verification mode used by
+// flows whose Config leaves Verify at ModeDefault. It exists for command-line
+// tools (-verify=strict|warn|off) that construct datapaths indirectly through
+// the experiment harness; call it before creating flows.
+func SetDefaultVerify(m absint.Mode) { defaultVerify = m }
 
 // Stats counts the runtime's activity for experiments and tests.
 type Stats struct {
@@ -114,6 +133,14 @@ type Stats struct {
 	// UnexpectedMsgs counts agent messages of a type the datapath does not
 	// handle; they are ignored rather than trusted.
 	UnexpectedMsgs int
+	// InstallRejects counts Install messages refused — malformed wire
+	// programs and verifier rejections alike. Each one was answered with a
+	// proto.InstallErr and left the previous program in force.
+	InstallRejects int
+	// VerifyWarnings counts advisory verifier findings on programs that
+	// were installed anyway (warn-severity findings in any mode, plus
+	// error-severity ones under Verify=warn).
+	VerifyWarnings int
 	// BatchesSent counts multi-report frames shipped; BatchedReports counts
 	// the reports they carried (a batch of one is sent plain and counts
 	// under neither).
@@ -221,6 +248,7 @@ type CCP struct {
 	nRepVecs      int
 	scratchUrgent proto.Urgent
 	scratchBatch  proto.Batch
+	scratchIErr   proto.InstallErr
 
 	// Cached metrics instruments (detached no-ops when cfg.Metrics is nil).
 	mReportsSent   *metrics.Counter
@@ -231,6 +259,7 @@ type CCP struct {
 	mAgentGone     *metrics.Counter
 	mLivenessStale *metrics.Counter
 	mBackoffRecvd  *metrics.Counter
+	mInstallReject *metrics.Counter
 
 	stats Stats
 }
@@ -253,6 +282,9 @@ func New(cfg Config) *CCP {
 	if cfg.MaxBatchMsgs > proto.MaxBatchMsgs {
 		cfg.MaxBatchMsgs = proto.MaxBatchMsgs
 	}
+	if cfg.Verify == absint.ModeDefault {
+		cfg.Verify = defaultVerify
+	}
 	return &CCP{
 		cfg:            cfg,
 		fallback:       nativecc.NewNewReno(),
@@ -267,6 +299,7 @@ func New(cfg Config) *CCP {
 		mAgentGone:     cfg.Metrics.Counter("dp_agent_gone_total"),
 		mLivenessStale: cfg.Metrics.Counter("dp_liveness_stale_total"),
 		mBackoffRecvd:  cfg.Metrics.Counter("dp_backoff_recvd_total"),
+		mInstallReject: cfg.Metrics.Counter("dp_install_rejects_total"),
 	}
 }
 
@@ -423,9 +456,11 @@ func (d *CCP) Deliver(m proto.Msg) {
 		if err != nil {
 			// A malformed program must not crash the datapath (§5); the
 			// previous program stays in force.
+			d.rejectInstall(v.Seq, err)
 			return
 		}
 		if err := d.install(prog); err != nil {
+			d.rejectInstall(v.Seq, err)
 			return
 		}
 		d.stats.InstallsRecvd++
@@ -510,10 +545,38 @@ func (d *CCP) eval(code ctrlCode) float64 {
 	return code.reg.Eval(d.vars)
 }
 
+// rejectInstall records a refused Install and tells the agent why with an
+// InstallErr reply carrying the offending Seq. The refusal degrades, never
+// breaks: the previously installed program (or the default one) keeps
+// controlling the flow, and the §5 fallback machinery is untouched.
+func (d *CCP) rejectInstall(seq uint32, err error) {
+	d.stats.InstallRejects++
+	d.mInstallReject.Inc()
+	reason := err.Error()
+	if len(reason) > 255 {
+		reason = reason[:252] + "..."
+	}
+	d.scratchIErr = proto.InstallErr{SID: d.cfg.SID, Seq: seq, Reason: reason}
+	d.send(&d.scratchIErr)
+}
+
 // install compiles and activates a program.
 func (d *CCP) install(p *lang.Program) error {
 	if err := p.Validate(); err != nil {
 		return err
+	}
+	if d.cfg.Verify != absint.ModeOff {
+		rep, err := absint.Analyze(p, absint.Datapath())
+		if err != nil {
+			return err
+		}
+		d.stats.VerifyWarnings += len(rep.Warnings())
+		if rep.HasErrors() {
+			if d.cfg.Verify == absint.ModeStrict {
+				return rep.Err()
+			}
+			d.stats.VerifyWarnings += len(rep.Errors())
+		}
 	}
 	backend := lang.BackendRegister
 	if d.cfg.StackVM {

@@ -1,11 +1,13 @@
 package datapath_test
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/ccp-repro/ccp/internal/datapath"
 	"github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/lang/absint"
 	"github.com/ccp-repro/ccp/internal/netsim"
 	"github.com/ccp-repro/ccp/internal/proto"
 	"github.com/ccp-repro/ccp/internal/tcp"
@@ -104,7 +106,18 @@ func install(t *testing.T, r *rig, p *lang.Program) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	before := r.dp.Stats().InstallsRecvd
 	r.dp.Deliver(&proto.Install{SID: 1, Prog: data})
+	if r.dp.Stats().InstallsRecvd != before+1 {
+		reason := "(no InstallErr reply captured)"
+		for i := len(r.sent) - 1; i >= 0; i-- {
+			if e, ok := r.sent[i].(*proto.InstallErr); ok {
+				reason = e.Reason
+				break
+			}
+		}
+		t.Fatalf("install rejected: %s", reason)
+	}
 }
 
 func TestFoldProgramReportsRegisters(t *testing.T) {
@@ -288,6 +301,70 @@ func TestMalformedInstallIgnored(t *testing.T) {
 	}
 	if r.dp.Stats().InstallsRecvd != 1 {
 		t.Fatalf("installs=%d", r.dp.Stats().InstallsRecvd)
+	}
+}
+
+func TestVerifierRejectsUnsafeInstall(t *testing.T) {
+	r := newRig(t, link8(), tcp.Options{}, datapath.Config{})
+	r.flow.Conn.Start()
+	install(t, r, lang.NewProgram().Cwnd(lang.C(20000)).WaitRtts(1).Report().MustBuild())
+	r.sim.Run(50 * time.Millisecond)
+
+	// pkt.rtt may be zero on a retransmission echo, so this divide is unsafe
+	// and the verifier must refuse it at install time.
+	unsafe := lang.NewProgram().
+		Rate(lang.Div(lang.C(1e6), lang.V("pkt.rtt"))).
+		WaitRtts(1).
+		Report().
+		MustBuild()
+	data, err := lang.MarshalProgram(unsafe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.dp.Deliver(&proto.Install{SID: 1, Seq: 9, Prog: data})
+	r.sim.Run(100 * time.Millisecond)
+
+	st := r.dp.Stats()
+	if st.InstallsRecvd != 1 || st.InstallRejects != 1 {
+		t.Fatalf("installs=%d rejects=%d", st.InstallsRecvd, st.InstallRejects)
+	}
+	// The agent was told why, with the refused message's sequence number.
+	var ie *proto.InstallErr
+	for _, m := range r.sent {
+		if e, ok := m.(*proto.InstallErr); ok {
+			ie = e
+		}
+	}
+	if ie == nil {
+		t.Fatal("no InstallErr reply sent")
+	}
+	if ie.SID != 1 || ie.Seq != 9 {
+		t.Fatalf("InstallErr=%+v", ie)
+	}
+	if !strings.Contains(ie.Reason, "div-zero") {
+		t.Fatalf("reason=%q, want div-zero diagnostic", ie.Reason)
+	}
+	// Fail-safe: the previous program keeps controlling the flow.
+	if got := r.flow.Conn.Cwnd(); got != 20000 {
+		t.Fatalf("cwnd=%d after rejected install", got)
+	}
+}
+
+func TestVerifierWarnModeInstalls(t *testing.T) {
+	r := newRig(t, link8(), tcp.Options{}, datapath.Config{Verify: absint.ModeWarn})
+	r.flow.Conn.Start()
+	unsafe := lang.NewProgram().
+		Cwnd(lang.Mul(lang.V("cwnd"), lang.C(2))). // unbounded: strict would refuse
+		WaitRtts(1).
+		Report().
+		MustBuild()
+	install(t, r, unsafe) // helper fails the test if the install is refused
+	st := r.dp.Stats()
+	if st.VerifyWarnings == 0 {
+		t.Fatal("warn mode recorded no verifier findings")
+	}
+	if st.InstallRejects != 0 {
+		t.Fatalf("rejects=%d in warn mode", st.InstallRejects)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"github.com/ccp-repro/ccp/internal/core"
 	"github.com/ccp-repro/ccp/internal/datapath"
 	"github.com/ccp-repro/ccp/internal/faults"
+	"github.com/ccp-repro/ccp/internal/lang/absint"
 	"github.com/ccp-repro/ccp/internal/metrics"
 	"github.com/ccp-repro/ccp/internal/netsim"
 	"github.com/ccp-repro/ccp/internal/supervise"
@@ -54,6 +55,10 @@ type Config struct {
 	// replication plus a supervisor that promotes the standby on agent
 	// failure. Requires AgentFaults. See HAConfig.
 	HA *HAConfig
+	// Verify sets every CCP flow's install-time verification mode unless its
+	// datapath.Config says otherwise (ModeDefault here keeps the datapath
+	// package default, strict).
+	Verify absint.Mode
 }
 
 // Net is a running deployment.
@@ -77,6 +82,7 @@ type Net struct {
 
 	metrics    *metrics.Registry
 	agentCfg   core.AgentConfig
+	verify     absint.Mode
 	nextSID    uint32
 	haInterval time.Duration
 	haPrimed   bool
@@ -121,6 +127,7 @@ func New(cfg Config) *Net {
 		Agent:    agent,
 		metrics:  cfg.Metrics,
 		agentCfg: agentCfg,
+		verify:   cfg.Verify,
 	}
 	var sink bridge.Handler = agent
 	if cfg.AgentFaults {
@@ -177,6 +184,9 @@ func (n *Net) AddCCPFlowCfg(id netsim.FlowID, alg string, opts tcp.Options, dpCf
 	dpCfg.Alg = alg
 	if dpCfg.Metrics == nil {
 		dpCfg.Metrics = n.metrics
+	}
+	if dpCfg.Verify == absint.ModeDefault {
+		dpCfg.Verify = n.verify
 	}
 	var dp *datapath.CCP
 	if n.FaultBridge != nil {

@@ -1,0 +1,228 @@
+package absint
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ccp-repro/ccp/internal/lang"
+)
+
+// AbsVal is the abstract value of one variable-table slot or expression:
+// the interval of non-NaN values it may take, whether it may additionally
+// be NaN, and whether it is (transitively) derived from a per-packet
+// measurement field. "Definitely NaN" is the empty interval with NaN set.
+type AbsVal struct {
+	I     Interval
+	NaN   bool
+	Fresh bool
+}
+
+// TopVal is the unconstrained abstract value: any float64 including NaN.
+func TopVal() AbsVal { return AbsVal{I: Top(), NaN: true} }
+
+// ConstVal abstracts a literal constant.
+func ConstVal(v float64) AbsVal {
+	if math.IsNaN(v) {
+		return AbsVal{I: Empty(), NaN: true}
+	}
+	return AbsVal{I: Point(v)}
+}
+
+// Finite is the abstract value [lo, hi] with no NaN possibility.
+func Finite(lo, hi float64) AbsVal { return AbsVal{I: Interval{lo, hi}} }
+
+// Join is the lattice join (may-analysis union).
+func (v AbsVal) Join(o AbsVal) AbsVal {
+	return AbsVal{I: v.I.Join(o.I), NaN: v.NaN || o.NaN, Fresh: v.Fresh || o.Fresh}
+}
+
+// MayBeZero reports whether the concrete value can compare equal to zero.
+// NaN is not zero (NaN == 0 is false), so only the interval part matters.
+func (v AbsVal) MayBeZero() bool { return v.I.Contains(0) }
+
+// unreachable is the bottom value produced for expressions on infeasible
+// paths: no concrete value at all.
+func unreachable() AbsVal { return AbsVal{I: Empty()} }
+
+func (v AbsVal) String() string {
+	s := "[" + trim(v.I.Lo) + ", " + trim(v.I.Hi) + "]"
+	if v.I.IsEmpty() {
+		s = "∅"
+	}
+	if v.NaN {
+		s += "∪NaN"
+	}
+	if v.Fresh {
+		s += " fresh"
+	}
+	return s
+}
+
+func trim(f float64) string { return fmt.Sprintf("%g", f) }
+
+// truth values for three-valued boolean reasoning.
+const (
+	tFalse = iota
+	tTrue
+	tUnknown
+)
+
+// truthiness classifies v under lang's truth rule (non-zero is true; NaN is
+// non-zero and therefore true).
+func truthiness(v AbsVal) int {
+	if v.I.IsEmpty() {
+		if v.NaN {
+			return tTrue // definitely NaN: NaN != 0
+		}
+		return tUnknown // unreachable; stay conservative
+	}
+	if !v.I.Contains(0) {
+		return tTrue
+	}
+	if v.I.IsPoint() && !v.NaN { // exactly {0}, no NaN
+		return tFalse
+	}
+	return tUnknown
+}
+
+func boolVal(t int, fresh bool) AbsVal {
+	switch t {
+	case tTrue:
+		return AbsVal{I: Point(1), Fresh: fresh}
+	case tFalse:
+		return AbsVal{I: Point(0), Fresh: fresh}
+	}
+	return AbsVal{I: Interval{0, 1}, Fresh: fresh}
+}
+
+// binTransfer is the abstract image of lang's applyBin. It reproduces the
+// runtime's total-arithmetic semantics:
+//
+//   - the final NaN/Inf→0 squash: an arithmetic result is never NaN or
+//     ±Inf at runtime, so whenever the abstract computation admits either
+//     (NaN operand propagating, overflow to ±Inf, or an infinite operand),
+//     0 is folded into the result interval and the NaN bit is cleared;
+//   - x/0 == 0 (handled by iDiv degrading to Top, which contains 0);
+//   - comparisons yield exactly 0 or 1, with NaN operands forcing 0
+//     (except !=, which NaN forces to 1).
+func binTransfer(op lang.BinKind, l, r AbsVal) AbsVal {
+	fresh := l.Fresh || r.Fresh
+	switch op {
+	case lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe, lang.OpEq, lang.OpNe:
+		return boolVal(compare(op, l, r), fresh)
+	case lang.OpAnd:
+		lt, rt := truthiness(l), truthiness(r)
+		switch {
+		case lt == tFalse || rt == tFalse:
+			return boolVal(tFalse, fresh)
+		case lt == tTrue && rt == tTrue:
+			return boolVal(tTrue, fresh)
+		}
+		return boolVal(tUnknown, fresh)
+	case lang.OpOr:
+		lt, rt := truthiness(l), truthiness(r)
+		switch {
+		case lt == tTrue || rt == tTrue:
+			return boolVal(tTrue, fresh)
+		case lt == tFalse && rt == tFalse:
+			return boolVal(tFalse, fresh)
+		}
+		return boolVal(tUnknown, fresh)
+	}
+
+	// Arithmetic. Empty operand intervals with the NaN bit set still reach
+	// the runtime as concrete NaNs; the squash turns those results into 0.
+	var raw Interval
+	switch {
+	case l.I.IsEmpty() || r.I.IsEmpty():
+		raw = Empty()
+	case op == lang.OpDiv:
+		raw = iDiv(l.I, r.I)
+	case op == lang.OpMin:
+		raw = iArith(math.Min, l.I, r.I)
+	case op == lang.OpMax:
+		raw = iArith(math.Max, l.I, r.I)
+	case op == lang.OpAdd:
+		raw = iArith(func(a, b float64) float64 { return a + b }, l.I, r.I)
+	case op == lang.OpSub:
+		raw = iArith(func(a, b float64) float64 { return a - b }, l.I, r.I)
+	case op == lang.OpMul:
+		raw = iArith(func(a, b float64) float64 { return a * b }, l.I, r.I)
+	default:
+		raw = Top()
+	}
+	// The squash: any path to a NaN or infinite result lands on 0 instead.
+	squashable := l.NaN || r.NaN || l.I.HasInf() || r.I.HasInf() || raw.HasInf()
+	if op == lang.OpDiv && (r.MayBeZero() || r.NaN) {
+		squashable = true // x/0 == 0; x/NaN squashes to 0
+	}
+	if squashable {
+		raw = raw.Join(Point(0))
+	}
+	return AbsVal{I: raw, Fresh: fresh}
+}
+
+// compare decides a comparison over abstract operands, returning
+// tTrue/tFalse when every concrete pair agrees and tUnknown otherwise.
+func compare(op lang.BinKind, l, r AbsVal) int {
+	lNaN, rNaN := l.NaN, r.NaN
+	lEmpty, rEmpty := l.I.IsEmpty(), r.I.IsEmpty()
+	defNaN := (lEmpty && lNaN) || (rEmpty && rNaN)
+	if op == lang.OpNe {
+		if defNaN {
+			return tTrue // NaN != x is always true
+		}
+		switch compare(lang.OpEq, l, r) {
+		case tTrue:
+			return tFalse
+		case tFalse:
+			return tTrue
+		}
+		return tUnknown
+	}
+	if defNaN {
+		return tFalse // NaN compares false under <, <=, >, >=, ==
+	}
+	if lEmpty || rEmpty {
+		return tUnknown // unreachable operand; stay conservative
+	}
+	mayNaN := lNaN || rNaN
+	switch op {
+	case lang.OpLt:
+		if !mayNaN && l.I.Hi < r.I.Lo {
+			return tTrue
+		}
+		if l.I.Lo >= r.I.Hi {
+			return tFalse // false for all non-NaN pairs, and NaN gives false too
+		}
+	case lang.OpLe:
+		if !mayNaN && l.I.Hi <= r.I.Lo {
+			return tTrue
+		}
+		if l.I.Lo > r.I.Hi {
+			return tFalse
+		}
+	case lang.OpGt:
+		if !mayNaN && l.I.Lo > r.I.Hi {
+			return tTrue
+		}
+		if l.I.Hi <= r.I.Lo {
+			return tFalse
+		}
+	case lang.OpGe:
+		if !mayNaN && l.I.Lo >= r.I.Hi {
+			return tTrue
+		}
+		if l.I.Hi < r.I.Lo {
+			return tFalse
+		}
+	case lang.OpEq:
+		if !mayNaN && l.I.IsPoint() && r.I.IsPoint() && l.I.Lo == r.I.Lo {
+			return tTrue
+		}
+		if l.I.Hi < r.I.Lo || l.I.Lo > r.I.Hi {
+			return tFalse
+		}
+	}
+	return tUnknown
+}

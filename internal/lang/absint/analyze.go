@@ -1,0 +1,750 @@
+package absint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/ccp-repro/ccp/internal/lang"
+)
+
+// Check identifiers, one per verifier rule.
+const (
+	CheckDivZero    = "div-zero"          // denominator interval contains zero on a feasible path
+	CheckNaNWrite   = "nan-write"         // NaN taint reaches a Cwnd/Rate write
+	CheckBounds     = "bounds"            // Cwnd/Rate write escapes the configured clamp bounds
+	CheckDeadUpdate = "dead-update"       // fold update overwritten before any read
+	CheckUnreadReg  = "unread-register"   // register written but never read by any expression
+	CheckNoReport   = "no-report"         // control program never reports
+	CheckNoFresh    = "no-fresh-input"    // fold state never derives from a packet field
+	CheckWait       = "non-positive-wait" // wait duration provably <= 0 (or NaN)
+)
+
+// Severity splits findings into install-blocking errors and advisories.
+type Severity uint8
+
+const (
+	SevWarn Severity = iota
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warn"
+}
+
+// Where locates a finding inside a program.
+type Where struct {
+	Kind  string // "update", "instr", "fold", "program"
+	Index int    // update or instruction index (Kind "update"/"instr")
+	Name  string // register name or instruction mnemonic
+}
+
+func (w Where) String() string {
+	switch w.Kind {
+	case "update":
+		return fmt.Sprintf("fold update %d (%s)", w.Index, w.Name)
+	case "instr":
+		return fmt.Sprintf("instr %d %s", w.Index, w.Name)
+	case "fold":
+		return fmt.Sprintf("fold register %s", w.Name)
+	}
+	return "program"
+}
+
+// Finding is one verifier diagnostic with a source span: Where names the
+// update or instruction, Path the position inside its expression tree
+// ("$.then.r" = right operand of the then-branch), Expr the offending
+// subexpression rendered in the DSL's syntax.
+type Finding struct {
+	Check    string
+	Severity Severity
+	Where    Where
+	Path     string
+	Expr     string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s at %s: %s", f.Severity, f.Check, f.Where, f.Path, f.Message)
+}
+
+// Report is the result of verifying one program.
+type Report struct {
+	Findings []Finding
+}
+
+// HasErrors reports whether any finding is install-blocking.
+func (r *Report) HasErrors() bool {
+	for _, f := range r.Findings {
+		if f.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns the install-blocking findings.
+func (r *Report) Errors() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity == SevError {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Warnings returns the advisory findings.
+func (r *Report) Warnings() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity == SevWarn {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Err returns nil if the report has no errors, else an error naming the
+// first one (and how many more there are).
+func (r *Report) Err() error {
+	errs := r.Errors()
+	if len(errs) == 0 {
+		return nil
+	}
+	if len(errs) == 1 {
+		return errors.New(errs[0].String())
+	}
+	return fmt.Errorf("%s (and %d more)", errs[0], len(errs)-1)
+}
+
+// Config parameterizes the abstract interpretation: the assumed abstract
+// values of packet fields and flow variables, the write bounds that mirror
+// the datapath's runtime clamps, and the fixpoint budget.
+type Config struct {
+	// Assume maps variable names ("pkt.rtt", "cwnd") to their assumed
+	// abstract values. Unlisted variables are unconstrained (any float64
+	// including NaN). Packet fields are always treated as fresh.
+	Assume map[string]AbsVal
+	// Write bounds; zero values default to the datapath clamps
+	// [0, 2^30] bytes for cwnd and [0, 1e12] bytes/sec for rate.
+	CwndMin, CwndMax float64
+	RateMin, RateMax float64
+	// Fixpoint budget: widening starts after WidenAfter iterations
+	// (default 4); after MaxIters (default 64) surviving unstable
+	// registers degrade to Top. Termination does not depend on MaxIters —
+	// widening guarantees it — the cap is a backstop.
+	MaxIters, WidenAfter int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CwndMax == 0 {
+		c.CwndMax = 1 << 30
+	}
+	if c.RateMax == 0 {
+		c.RateMax = 1e12
+	}
+	if c.MaxIters == 0 {
+		c.MaxIters = 64
+	}
+	if c.WidenAfter == 0 {
+		c.WidenAfter = 4
+	}
+	return c
+}
+
+// Datapath returns the profile the Install gate verifies under: physically
+// plausible measurement ranges (RTTs under an hour, byte counts within the
+// cwnd clamp, rates within the rate clamp, a positive MSS) and non-NaN
+// flow variables, matching what the simulated datapath actually produces.
+func Datapath() Config {
+	return Config{Assume: map[string]AbsVal{
+		"pkt.rtt":      Finite(0, 3600),
+		"pkt.acked":    Finite(0, 1<<30),
+		"pkt.sacked":   Finite(0, 1<<30),
+		"pkt.lost":     Finite(0, 1<<30),
+		"pkt.ecn":      Finite(0, 1),
+		"pkt.snd_rate": Finite(0, 1e12),
+		"pkt.rcv_rate": Finite(0, 1e12),
+		"pkt.inflight": Finite(0, 1<<30),
+		"pkt.hdr_rate": Finite(0, 1e12),
+		"pkt.now":      Finite(0, 1e9),
+		"cwnd":         Finite(0, 1<<30),
+		"rate":         Finite(0, 1e12),
+		"mss":          Finite(1, 65536),
+		"srtt":         Finite(0, 3600),
+		"min_rtt":      Finite(0, 3600),
+	}}
+}
+
+// Adversarial returns the profile the fuzz soundness harness verifies
+// under: every input is unconstrained, including NaN and ±Inf. A program
+// clean under this profile is safe against arbitrary measurement garbage.
+func Adversarial() Config {
+	return Config{}
+}
+
+// Analyze abstractly interprets p under cfg and returns the verifier
+// report. The fold update list is iterated to a fixpoint (with widening)
+// to obtain a per-register invariant; control-program expressions are then
+// evaluated once against that invariant. An error is returned only for
+// structurally invalid programs (Validate failures) — semantic problems
+// are Findings, not errors.
+func Analyze(p *lang.Program, cfg Config) (*Report, error) {
+	if p == nil {
+		return nil, errors.New("absint: nil program")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	var regs []lang.RegDef
+	if p.Measure.Mode == lang.MeasureFold {
+		regs = p.Measure.Fold.Regs
+	}
+	regNames := make([]string, len(regs))
+	for i, r := range regs {
+		regNames[i] = r.Name
+	}
+	a := &analyzer{
+		cfg:     cfg,
+		prog:    p,
+		resolve: lang.StdResolver(regNames),
+		rep:     &Report{},
+	}
+
+	st := a.baseState()
+	if p.Measure.Mode == lang.MeasureFold {
+		for i, r := range regs {
+			st[lang.RegSlot(i)] = ConstVal(r.Init)
+		}
+		a.fixpoint(st, len(regs))
+		// Findings are muted during fixpoint iteration; one final pass over
+		// the stable invariant emits each at most once.
+		a.emit = true
+		a.step(cloneSt(st))
+		a.emit = false
+	}
+	a.emit = true
+	a.checkInstrs(st)
+	a.checkDeadUpdates()
+	a.checkUnreadRegisters(regNames)
+	a.checkReportLiveness()
+	a.checkFreshInput(st, len(regs))
+	return a.rep, nil
+}
+
+type analyzer struct {
+	cfg     Config
+	prog    *lang.Program
+	resolve lang.Resolver
+	rep     *Report
+	emit    bool
+	where   Where
+}
+
+// baseState builds the abstract variable table from the assumption
+// profile: packet fields (always fresh), then flow variables, then
+// registers (filled in by the caller for fold mode).
+func (a *analyzer) baseState() []AbsVal {
+	nregs := 0
+	if a.prog.Measure.Mode == lang.MeasureFold {
+		nregs = len(a.prog.Measure.Fold.Regs)
+	}
+	st := make([]AbsVal, lang.VarTableSize(nregs))
+	for i := range st {
+		st[i] = TopVal()
+	}
+	for f := lang.Field(0); f < lang.NumPktFields; f++ {
+		v := TopVal()
+		if av, ok := a.cfg.Assume[f.String()]; ok {
+			v = av
+		}
+		v.Fresh = true
+		st[lang.PktFieldSlot(f)] = v
+	}
+	for fv := lang.FlowVar(0); fv < lang.NumFlowVars; fv++ {
+		if av, ok := a.cfg.Assume[fv.String()]; ok {
+			av.Fresh = false
+			st[lang.FlowVarSlot(fv)] = av
+		}
+	}
+	return st
+}
+
+// step applies one abstract fold step in place: updates run sequentially,
+// later updates observing earlier results (matching CompiledFold.Step).
+func (a *analyzer) step(st []AbsVal) {
+	for i, u := range a.prog.Measure.Fold.Updates {
+		a.where = Where{Kind: "update", Index: i, Name: u.Dst}
+		v := a.eval(u.E, st, "$")
+		if slot, ok := a.resolve(u.Dst); ok {
+			st[slot] = v
+		}
+	}
+}
+
+// fixpoint iterates st's register slots to stability: the resulting state
+// over-approximates every reachable register valuation (the initial values
+// are part of the invariant because st only ever grows by joining).
+func (a *analyzer) fixpoint(st []AbsVal, nregs int) {
+	for iter := 0; ; iter++ {
+		next := cloneSt(st)
+		a.step(next)
+		changed := false
+		for i := 0; i < nregs; i++ {
+			slot := lang.RegSlot(i)
+			j := st[slot].Join(next[slot])
+			if iter >= a.cfg.WidenAfter {
+				j.I = st[slot].I.Widen(j.I)
+			}
+			if j != st[slot] {
+				st[slot] = j
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+		if iter >= a.cfg.MaxIters {
+			for i := 0; i < nregs; i++ {
+				slot := lang.RegSlot(i)
+				st[slot] = AbsVal{I: Top(), NaN: true, Fresh: st[slot].Fresh}
+			}
+			return
+		}
+	}
+}
+
+// eval computes the abstract value of e in state st, emitting findings
+// when a.emit is set. path is the span within the current expression tree.
+func (a *analyzer) eval(e lang.Expr, st []AbsVal, path string) AbsVal {
+	switch n := e.(type) {
+	case lang.Const:
+		return ConstVal(float64(n))
+	case lang.Var:
+		if slot, ok := a.resolve(string(n)); ok {
+			return st[slot]
+		}
+		return TopVal()
+	case *lang.Bin:
+		l := a.eval(n.L, st, a.sub(path, ".l"))
+		r := a.eval(n.R, st, a.sub(path, ".r"))
+		if n.Op == lang.OpDiv && a.emit && r.MayBeZero() {
+			a.report(CheckDivZero, SevError, a.sub(path, ".r"), n.R,
+				fmt.Sprintf("denominator %s may be zero (x/0 == 0 silently); guard with a comparison or max(_, ε)", r))
+		}
+		return binTransfer(n.Op, l, r)
+	case *lang.If:
+		c := a.eval(n.Cond, st, a.sub(path, ".cond"))
+		// The runtime evaluates both branches (purity) but selects on the
+		// condition; value-wise only the selected branch matters, so each
+		// branch is analyzed under the refined state and infeasible
+		// branches contribute nothing.
+		thenSt := a.refine(n.Cond, true, st)
+		elseSt := a.refine(n.Cond, false, st)
+		out := unreachable()
+		if thenSt != nil {
+			out = a.eval(n.Then, thenSt, a.sub(path, ".then"))
+		}
+		if elseSt != nil {
+			ev := a.eval(n.Else, elseSt, a.sub(path, ".else"))
+			if thenSt != nil {
+				out = out.Join(ev)
+			} else {
+				out = ev
+			}
+		}
+		out.Fresh = out.Fresh || c.Fresh
+		return out
+	}
+	return TopVal()
+}
+
+func (a *analyzer) sub(path, seg string) string {
+	if !a.emit {
+		return path
+	}
+	return path + seg
+}
+
+func (a *analyzer) evalSilent(e lang.Expr, st []AbsVal) AbsVal {
+	saved := a.emit
+	a.emit = false
+	v := a.eval(e, st, "")
+	a.emit = saved
+	return v
+}
+
+func (a *analyzer) report(check string, sev Severity, path string, e lang.Expr, msg string) {
+	expr := ""
+	if e != nil {
+		expr = e.String()
+	}
+	a.rep.Findings = append(a.rep.Findings, Finding{
+		Check: check, Severity: sev, Where: a.where, Path: path, Expr: expr, Message: msg,
+	})
+}
+
+// refine narrows st under the assumption that cond evaluates to want.
+// Returns nil when the branch is infeasible, st itself when nothing can be
+// narrowed, or a narrowed copy. Never emits findings.
+func (a *analyzer) refine(cond lang.Expr, want bool, st []AbsVal) []AbsVal {
+	switch n := cond.(type) {
+	case lang.Const:
+		v := float64(n)
+		if (v != 0 || math.IsNaN(v)) == want {
+			return st
+		}
+		return nil
+	case lang.Var:
+		slot, ok := a.resolve(string(n))
+		if !ok {
+			return st
+		}
+		cur := st[slot]
+		if want {
+			if truthiness(cur) == tFalse {
+				return nil
+			}
+			return st
+		}
+		// Condition false: the value compared equal to zero, so it is
+		// exactly 0 and not NaN.
+		if !cur.I.Contains(0) {
+			return nil
+		}
+		out := cloneSt(st)
+		out[slot] = AbsVal{I: Point(0), Fresh: cur.Fresh}
+		return out
+	case *lang.Bin:
+		switch n.Op {
+		case lang.OpAnd:
+			if want {
+				st1 := a.refine(n.L, true, st)
+				if st1 == nil {
+					return nil
+				}
+				return a.refine(n.R, true, st1)
+			}
+			if a.refine(n.L, false, st) == nil && a.refine(n.R, false, st) == nil {
+				return nil
+			}
+			return st
+		case lang.OpOr:
+			if !want {
+				st1 := a.refine(n.L, false, st)
+				if st1 == nil {
+					return nil
+				}
+				return a.refine(n.R, false, st1)
+			}
+			if a.refine(n.L, true, st) == nil && a.refine(n.R, true, st) == nil {
+				return nil
+			}
+			return st
+		case lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe, lang.OpEq, lang.OpNe:
+			return a.refineCmp(n, want, st)
+		}
+	}
+	// Generic fallback (arithmetic or nested-If conditions): check
+	// feasibility of the requested truth value without narrowing.
+	switch truthiness(a.evalSilent(cond, st)) {
+	case tTrue:
+		if !want {
+			return nil
+		}
+	case tFalse:
+		if want {
+			return nil
+		}
+	}
+	return st
+}
+
+// refineCmp narrows st under "L op R == want" for comparison ops.
+func (a *analyzer) refineCmp(n *lang.Bin, want bool, st []AbsVal) []AbsVal {
+	op := n.Op
+	if !want {
+		switch op {
+		case lang.OpNe:
+			op = lang.OpEq // !(l != r) ⇒ l == r (and both non-NaN)
+		case lang.OpEq:
+			// !(l == r) ⇒ l != r or NaN involved: nothing to narrow, but
+			// definitely-equal non-NaN points make the branch infeasible.
+			if compare(lang.OpEq, a.evalSilent(n.L, st), a.evalSilent(n.R, st)) == tTrue {
+				return nil
+			}
+			return st
+		default:
+			// A false ordered comparison may be explained by a NaN operand;
+			// only narrow when neither side can be NaN.
+			if a.evalSilent(n.L, st).NaN || a.evalSilent(n.R, st).NaN {
+				return st
+			}
+			switch op {
+			case lang.OpLt:
+				op = lang.OpGe
+			case lang.OpLe:
+				op = lang.OpGt
+			case lang.OpGt:
+				op = lang.OpLe
+			case lang.OpGe:
+				op = lang.OpLt
+			}
+		}
+	}
+
+	lv, rv := a.evalSilent(n.L, st), a.evalSilent(n.R, st)
+	if op == lang.OpNe {
+		// "l != r" holds: unrepresentable as an interval, but definitely
+		// -equal points make it infeasible.
+		if compare(lang.OpEq, lv, rv) == tTrue {
+			return nil
+		}
+		return st
+	}
+	// A true ordered comparison (or equality) implies both operands are
+	// non-NaN; a definitely-NaN side makes the branch infeasible.
+	if (lv.I.IsEmpty() && lv.NaN) || (rv.I.IsEmpty() && rv.NaN) {
+		return nil
+	}
+	out := a.refineVarSide(st, n.L, op, rv)
+	if out == nil {
+		return nil
+	}
+	out = a.refineVarSide(out, n.R, flipCmp(op), lv)
+	if out == nil {
+		return nil
+	}
+	if compare(op, a.evalSilent(n.L, out), a.evalSilent(n.R, out)) == tFalse {
+		return nil
+	}
+	return out
+}
+
+// refineVarSide narrows a bare-Var operand e under "e op other == true".
+// The comparison being true clears the operand's NaN possibility; interval
+// endpoints use Nextafter for the strict comparisons so the refinement is
+// float-exact.
+func (a *analyzer) refineVarSide(st []AbsVal, e lang.Expr, op lang.BinKind, other AbsVal) []AbsVal {
+	v, ok := e.(lang.Var)
+	if !ok {
+		return st
+	}
+	slot, ok := a.resolve(string(v))
+	if !ok {
+		return st
+	}
+	cur := st[slot]
+	nv := cur
+	nv.NaN = false
+	if !other.I.IsEmpty() {
+		switch op {
+		case lang.OpLt:
+			nv.I.Hi = math.Min(nv.I.Hi, math.Nextafter(other.I.Hi, math.Inf(-1)))
+		case lang.OpLe:
+			nv.I.Hi = math.Min(nv.I.Hi, other.I.Hi)
+		case lang.OpGt:
+			nv.I.Lo = math.Max(nv.I.Lo, math.Nextafter(other.I.Lo, math.Inf(1)))
+		case lang.OpGe:
+			nv.I.Lo = math.Max(nv.I.Lo, other.I.Lo)
+		case lang.OpEq:
+			nv.I = nv.I.Meet(other.I)
+		}
+	}
+	if nv.I.IsEmpty() && !nv.NaN {
+		return nil
+	}
+	if nv == cur {
+		return st
+	}
+	out := cloneSt(st)
+	out[slot] = nv
+	return out
+}
+
+func flipCmp(op lang.BinKind) lang.BinKind {
+	switch op {
+	case lang.OpLt:
+		return lang.OpGt
+	case lang.OpLe:
+		return lang.OpGe
+	case lang.OpGt:
+		return lang.OpLt
+	case lang.OpGe:
+		return lang.OpLe
+	}
+	return op // Eq is symmetric
+}
+
+// checkInstrs evaluates every control-program expression against the
+// stable invariant and applies the write/wait checks.
+func (a *analyzer) checkInstrs(st []AbsVal) {
+	for i, in := range a.prog.Instrs {
+		switch n := in.(type) {
+		case lang.SetCwnd:
+			a.where = Where{Kind: "instr", Index: i, Name: "Cwnd"}
+			v := a.eval(n.E, st, "$")
+			a.checkWrite("cwnd", v, a.cfg.CwndMin, a.cfg.CwndMax, n.E)
+		case lang.SetRate:
+			a.where = Where{Kind: "instr", Index: i, Name: "Rate"}
+			v := a.eval(n.E, st, "$")
+			a.checkWrite("rate", v, a.cfg.RateMin, a.cfg.RateMax, n.E)
+		case lang.Wait:
+			a.where = Where{Kind: "instr", Index: i, Name: "Wait"}
+			a.checkWait(a.eval(n.Seconds, st, "$"), n.Seconds)
+		case lang.WaitRtts:
+			a.where = Where{Kind: "instr", Index: i, Name: "WaitRtts"}
+			a.checkWait(a.eval(n.Rtts, st, "$"), n.Rtts)
+		}
+	}
+}
+
+func (a *analyzer) checkWrite(what string, v AbsVal, lo, hi float64, e lang.Expr) {
+	if v.NaN {
+		a.report(CheckNaNWrite, SevError, "$", e,
+			fmt.Sprintf("%s write may be NaN (%s): the runtime clamp does not catch NaN; guard the inputs", what, v))
+	}
+	if !v.I.IsEmpty() && (v.I.Lo < lo || v.I.Hi > hi) {
+		a.report(CheckBounds, SevError, "$", e,
+			fmt.Sprintf("%s write %s escapes [%g, %g]; wrap in an explicit min/max clamp", what, v, lo, hi))
+	}
+}
+
+func (a *analyzer) checkWait(v AbsVal, e lang.Expr) {
+	if v.NaN {
+		a.report(CheckWait, SevWarn, "$", e, fmt.Sprintf("wait duration may be NaN (%s)", v))
+	}
+	if !v.I.IsEmpty() && v.I.Hi <= 0 {
+		a.report(CheckWait, SevWarn, "$", e,
+			fmt.Sprintf("wait duration %s is never positive: the program busy-loops its instruction list", v))
+	}
+}
+
+// checkDeadUpdates flags a fold update whose result is overwritten by a
+// later update to the same register in the same step with no intervening
+// read: the computation is dead per-packet.
+func (a *analyzer) checkDeadUpdates() {
+	if a.prog.Measure.Mode != lang.MeasureFold {
+		return
+	}
+	ups := a.prog.Measure.Fold.Updates
+	for i, u := range ups {
+		for j := i + 1; j < len(ups); j++ {
+			if exprReads(ups[j].E, u.Dst) {
+				break // a later update in the same step observes the value
+			}
+			if ups[j].Dst == u.Dst {
+				a.where = Where{Kind: "update", Index: i, Name: u.Dst}
+				a.report(CheckDeadUpdate, SevWarn, "$", u.E,
+					fmt.Sprintf("value is overwritten by update %d before any read", j))
+				break
+			}
+		}
+	}
+}
+
+// checkUnreadRegisters flags registers no expression ever reads. They are
+// still shipped in reports (write-only telemetry is legitimate), hence a
+// warning, not an error.
+func (a *analyzer) checkUnreadRegisters(regNames []string) {
+	if a.prog.Measure.Mode != lang.MeasureFold {
+		return
+	}
+	for _, name := range regNames {
+		read := false
+		for _, u := range a.prog.Measure.Fold.Updates {
+			if exprReads(u.E, name) {
+				read = true
+				break
+			}
+		}
+		if !read {
+			for _, in := range a.prog.Instrs {
+				if e := instrExpr(in); e != nil && exprReads(e, name) {
+					read = true
+					break
+				}
+			}
+		}
+		if !read {
+			a.where = Where{Kind: "fold", Name: name}
+			a.report(CheckUnreadReg, SevWarn, "$", nil,
+				"register is written but never read by any expression (it is still shipped in reports)")
+		}
+	}
+}
+
+// checkReportLiveness: a program with no Report never ships measurements;
+// in fold mode the registers also never reset, and in vector mode the
+// sample buffer grows without bound — install-blocking. EWMA mode merely
+// wastes the measurement machinery — advisory.
+func (a *analyzer) checkReportLiveness() {
+	for _, in := range a.prog.Instrs {
+		if _, ok := in.(lang.Report); ok {
+			return
+		}
+	}
+	a.where = Where{Kind: "program"}
+	switch a.prog.Measure.Mode {
+	case lang.MeasureFold:
+		a.report(CheckNoReport, SevError, "$", nil,
+			"fold program never reports: registers accumulate forever and measurements never reach the agent")
+	case lang.MeasureVector:
+		a.report(CheckNoReport, SevError, "$", nil,
+			"vector program never reports: the per-packet sample buffer grows without bound")
+	default:
+		a.report(CheckNoReport, SevWarn, "$", nil,
+			"program never reports: measurements never reach the agent")
+	}
+}
+
+// checkFreshInput warns when no register's stable value derives from a
+// packet field: the fold summarizes nothing the datapath measured.
+func (a *analyzer) checkFreshInput(st []AbsVal, nregs int) {
+	if a.prog.Measure.Mode != lang.MeasureFold || nregs == 0 {
+		return
+	}
+	for i := 0; i < nregs; i++ {
+		if st[lang.RegSlot(i)].Fresh {
+			return
+		}
+	}
+	a.where = Where{Kind: "program"}
+	a.report(CheckNoFresh, SevWarn, "$", nil,
+		"no fold register derives from a pkt.* field: the fold never incorporates fresh measurements")
+}
+
+func exprReads(e lang.Expr, name string) bool {
+	for _, v := range lang.Vars(e) {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}
+
+func instrExpr(in lang.Instr) lang.Expr {
+	switch n := in.(type) {
+	case lang.SetRate:
+		return n.E
+	case lang.SetCwnd:
+		return n.E
+	case lang.Wait:
+		return n.Seconds
+	case lang.WaitRtts:
+		return n.Rtts
+	}
+	return nil
+}
+
+func cloneSt(st []AbsVal) []AbsVal {
+	out := make([]AbsVal, len(st))
+	copy(out, st)
+	return out
+}

@@ -1,0 +1,47 @@
+package absint
+
+import "fmt"
+
+// Mode is the verification policy shared by the datapath Install gate and
+// the agent-side pre-send check: strict refuses programs with error-level
+// findings, warn only counts them, off skips verification entirely.
+// ModeDefault (the zero value) defers to the embedding component's default
+// — strict in the datapath, off at the agent (where the datapath gate
+// already covers every installed program).
+type Mode uint8
+
+const (
+	ModeDefault Mode = iota
+	ModeStrict
+	ModeWarn
+	ModeOff
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeDefault:
+		return "default"
+	case ModeStrict:
+		return "strict"
+	case ModeWarn:
+		return "warn"
+	case ModeOff:
+		return "off"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// ParseMode parses a -verify flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "strict":
+		return ModeStrict, nil
+	case "warn":
+		return ModeWarn, nil
+	case "off":
+		return ModeOff, nil
+	case "", "default":
+		return ModeDefault, nil
+	}
+	return ModeDefault, fmt.Errorf("absint: unknown verify mode %q (want strict|warn|off)", s)
+}

@@ -1,0 +1,130 @@
+package absint
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ccp-repro/ccp/internal/lang"
+)
+
+// Trace counts the runtime defensive checks an expression evaluation hit
+// on its value-influencing path. The runtime evaluates both branches of an
+// If (expressions are pure), but only events on the selected branch — and
+// in the condition — can influence the produced value, so only those are
+// counted: the verifier proves properties of values, not of speculative
+// work the runtime discards.
+type Trace struct {
+	DivZero int // x/0 substitutions (applyBin's r == 0 early return)
+	Squash  int // NaN/Inf results squashed to 0
+}
+
+// EvalTrace mirrors lang.Eval bit-for-bit — same operator semantics, same
+// x/0 == 0 and NaN/Inf→0 totalization — while recording which defensive
+// substitutions fired on the selected path. TestEvalTraceMatchesEval pins
+// the value agreement against lang.Eval over adversarial inputs.
+func EvalTrace(e lang.Expr, env lang.Env) (float64, Trace, error) {
+	var tr Trace
+	v, err := evalTrace(e, env, &tr)
+	return v, tr, err
+}
+
+func evalTrace(e lang.Expr, env lang.Env, tr *Trace) (float64, error) {
+	switch n := e.(type) {
+	case lang.Const:
+		return float64(n), nil
+	case lang.Var:
+		v, ok := env(string(n))
+		if !ok {
+			return 0, fmt.Errorf("absint: unknown variable %q", string(n))
+		}
+		return v, nil
+	case *lang.Bin:
+		l, err := evalTrace(n.L, env, tr)
+		if err != nil {
+			return 0, err
+		}
+		r, err := evalTrace(n.R, env, tr)
+		if err != nil {
+			return 0, err
+		}
+		return applyBinTrace(n.Op, l, r, tr), nil
+	case *lang.If:
+		c, err := evalTrace(n.Cond, env, tr)
+		if err != nil {
+			return 0, err
+		}
+		// Evaluate both branches (the runtime does too) but merge only the
+		// selected branch's events into the caller's trace.
+		var tTr, fTr Trace
+		t, err := evalTrace(n.Then, env, &tTr)
+		if err != nil {
+			return 0, err
+		}
+		f, err := evalTrace(n.Else, env, &fTr)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 { // NaN != 0, so a NaN condition selects the then branch
+			tr.DivZero += tTr.DivZero
+			tr.Squash += tTr.Squash
+			return t, nil
+		}
+		tr.DivZero += fTr.DivZero
+		tr.Squash += fTr.Squash
+		return f, nil
+	}
+	return 0, fmt.Errorf("absint: unknown expression node %T", e)
+}
+
+// applyBinTrace is lang's applyBin with event counting. Keep the two in
+// lockstep: any semantic change to the runtime evaluator must land here
+// too, or the fuzz soundness harness will catch the divergence.
+func applyBinTrace(op lang.BinKind, l, r float64, tr *Trace) float64 {
+	var v float64
+	switch op {
+	case lang.OpAdd:
+		v = l + r
+	case lang.OpSub:
+		v = l - r
+	case lang.OpMul:
+		v = l * r
+	case lang.OpDiv:
+		if r == 0 {
+			tr.DivZero++
+			return 0
+		}
+		v = l / r
+	case lang.OpMin:
+		v = math.Min(l, r)
+	case lang.OpMax:
+		v = math.Max(l, r)
+	case lang.OpLt:
+		v = b2f(l < r)
+	case lang.OpLe:
+		v = b2f(l <= r)
+	case lang.OpGt:
+		v = b2f(l > r)
+	case lang.OpGe:
+		v = b2f(l >= r)
+	case lang.OpEq:
+		v = b2f(l == r)
+	case lang.OpNe:
+		v = b2f(l != r)
+	case lang.OpAnd:
+		v = b2f(l != 0 && r != 0)
+	case lang.OpOr:
+		v = b2f(l != 0 || r != 0)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		tr.Squash++
+		return 0
+	}
+	return v
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,9 +1,13 @@
-package lang
+package lang_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
+
+	. "github.com/ccp-repro/ccp/internal/lang"
+	"github.com/ccp-repro/ccp/internal/lang/absint"
 )
 
 // FuzzStackVsRegister is the differential harness pinning the register VM
@@ -12,6 +16,11 @@ import (
 // and driven over a seeded random packet stream — including NaN/Inf/zero
 // specials — and every fold register after every packet, plus every
 // control-expression value, must match bit for bit.
+//
+// The same program and stream also exercise the verifier's soundness
+// contract (verifySoundness): a location the abstract interpretation left
+// unflagged must never hit the runtime's defensive substitutions when run
+// concretely.
 func FuzzStackVsRegister(f *testing.F) {
 	for seed := int64(0); seed < 16; seed++ {
 		f.Add(seed, seed*7+1)
@@ -28,6 +37,7 @@ func FuzzStackVsRegister(f *testing.F) {
 			diffFold(t, p.Measure.Fold, uint64(streamSeed))
 		}
 		diffCtrlExprs(t, p, regNames, uint64(streamSeed))
+		verifySoundness(t, p, uint64(streamSeed))
 	})
 }
 
@@ -111,6 +121,156 @@ func diffCtrlExprs(t *testing.T, p *Program, regNames []string, seed uint64) {
 			if math.Float64bits(sv) != math.Float64bits(rv) {
 				t.Fatalf("instr %d trial %d: %s\nstack=%v (%#x) register=%v (%#x)",
 					idx, trial, e, sv, math.Float64bits(sv), rv, math.Float64bits(rv))
+			}
+		}
+	}
+}
+
+// verifySoundness checks the Install-gate verifier against ground truth:
+// analyze the program under the adversarial profile (every input
+// unconstrained, NaN and ±Inf included), then run it concretely over a
+// specials-biased stream. Soundness means the verifier's silence is a
+// guarantee — a fold update or instruction with no div-zero finding must
+// never hit the runtime's x/0 substitution, and a Cwnd/Rate write with no
+// nan-write/bounds finding must produce an in-range, non-NaN value. A
+// failure here is a verifier bug (a missed over-approximation), the exact
+// class of bug that would let a bad program through the Install gate.
+func verifySoundness(t *testing.T, p *Program, seed uint64) {
+	t.Helper()
+	rep, err := absint.Analyze(p, absint.Adversarial())
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	// Index findings by check and location: "kind/index" per Where.
+	flagged := make(map[string]bool)
+	for _, fd := range rep.Findings {
+		flagged[fd.Check+"@"+fd.Where.Kind+"/"+fmt.Sprint(fd.Where.Index)] = true
+	}
+	has := func(check, kind string, idx int) bool {
+		return flagged[check+"@"+kind+"/"+fmt.Sprint(idx)]
+	}
+
+	var cf *CompiledFold
+	var regNames []string
+	if p.Measure.Mode == MeasureFold {
+		regNames = p.Measure.Fold.RegNames()
+		cf, err = CompileFoldBackend(p.Measure.Fold, BackendStack)
+		if err != nil {
+			t.Fatalf("fold compile: %v", err)
+		}
+	}
+	resolve := StdResolver(regNames)
+	nvars := VarTableSize(len(regNames))
+	vars := make([]float64, nvars) // driven by EvalTrace
+	ref := make([]float64, nvars)  // driven by the stack VM, for cross-checking
+	env := func(name string) (float64, bool) {
+		slot, ok := resolve(name)
+		if !ok {
+			return 0, false
+		}
+		return vars[slot], true
+	}
+	if cf != nil {
+		cf.InitRegs(vars)
+		cf.InitRegs(ref)
+	}
+
+	type ctrl struct {
+		idx  int
+		kind string // Where.Name: "Cwnd", "Rate", "Wait", "WaitRtts"
+		e    Expr
+		code *Code
+	}
+	var ctrls []ctrl
+	for idx, in := range p.Instrs {
+		var kind string
+		var e Expr
+		switch n := in.(type) {
+		case SetRate:
+			kind, e = "Rate", n.E
+		case SetCwnd:
+			kind, e = "Cwnd", n.E
+		case Wait:
+			kind, e = "Wait", n.Seconds
+		case WaitRtts:
+			kind, e = "WaitRtts", n.Rtts
+		case Report:
+			continue
+		}
+		code, err := Compile(e, resolve)
+		if err != nil {
+			t.Fatalf("instr %d: %v", idx, err)
+		}
+		ctrls = append(ctrls, ctrl{idx: idx, kind: kind, e: e, code: code})
+	}
+
+	src := newSpecialSource(seed ^ 0xa11ab57ac7a11a5e)
+	for pkt := 0; pkt < 64; pkt++ {
+		for fi := 0; fi < VarTableSize(0); fi++ {
+			v := src.next()
+			vars[fi] = v
+			ref[fi] = v
+		}
+		if cf != nil {
+			// Step the fold by EvalTrace, update by update, so every
+			// division-substitution is attributed to its update index; the
+			// stack VM runs alongside and the registers must agree bitwise
+			// (EvalTrace claims to mirror the runtime exactly).
+			for ui, u := range p.Measure.Fold.Updates {
+				v, tr, err := absint.EvalTrace(u.E, env)
+				if err != nil {
+					t.Fatalf("packet %d update %d: %v", pkt, ui, err)
+				}
+				if tr.DivZero > 0 && !has(absint.CheckDivZero, "update", ui) {
+					t.Errorf("unsound: packet %d, fold update %d (%s) hit the x/0 substitution with no div-zero finding\nexpr: %s",
+						pkt, ui, u.Dst, u.E)
+				}
+				if slot, ok := resolve(u.Dst); ok {
+					vars[slot] = v
+				}
+			}
+			cf.Step(ref)
+			for i := range regNames {
+				a, b := vars[RegSlot(i)], ref[RegSlot(i)]
+				if math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("EvalTrace diverged from the stack VM: packet %d register %q: trace=%v (%#x) vm=%v (%#x)",
+						pkt, regNames[i], a, math.Float64bits(a), b, math.Float64bits(b))
+				}
+			}
+		}
+		// Control expressions evaluate against reachable register states
+		// (the fold output) and adversarial packet/flow inputs — exactly
+		// the state space the adversarial profile over-approximates.
+		for _, c := range ctrls {
+			v, tr, err := absint.EvalTrace(c.e, env)
+			if err != nil {
+				t.Fatalf("packet %d instr %d: %v", pkt, c.idx, err)
+			}
+			if cv := c.code.Eval(vars, nil); math.Float64bits(v) != math.Float64bits(cv) {
+				t.Fatalf("EvalTrace diverged from the stack VM: packet %d instr %d: trace=%v vm=%v\nexpr: %s",
+					pkt, c.idx, v, cv, c.e)
+			}
+			if tr.DivZero > 0 && !has(absint.CheckDivZero, "instr", c.idx) {
+				t.Errorf("unsound: packet %d, instr %d %s hit the x/0 substitution with no div-zero finding\nexpr: %s",
+					pkt, c.idx, c.kind, c.e)
+			}
+			var lo, hi float64
+			switch c.kind {
+			case "Cwnd":
+				lo, hi = 0, 1<<30
+			case "Rate":
+				lo, hi = 0, 1e12
+			default:
+				continue
+			}
+			if math.IsNaN(v) {
+				if !has(absint.CheckNaNWrite, "instr", c.idx) {
+					t.Errorf("unsound: packet %d, instr %d %s wrote NaN with no nan-write finding\nexpr: %s",
+						pkt, c.idx, c.kind, c.e)
+				}
+			} else if (v < lo || v > hi) && !has(absint.CheckBounds, "instr", c.idx) {
+				t.Errorf("unsound: packet %d, instr %d %s wrote %v outside [%g, %g] with no bounds finding\nexpr: %s",
+					pkt, c.idx, c.kind, v, lo, hi, c.e)
 			}
 		}
 	}

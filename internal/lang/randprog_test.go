@@ -1,11 +1,21 @@
-package lang
+package lang_test
 
 import (
 	"math"
 	"math/rand"
 	"reflect"
 	"testing"
+
+	// The random-program generator and the fuzz harness live in the external
+	// test package so they can import absint (which imports lang) without a
+	// cycle; the dot import keeps the DSL constructors readable.
+	. "github.com/ccp-repro/ccp/internal/lang"
 )
+
+// numBinKinds mirrors lang's unexported operator count. OpOr is the last
+// operator; serialize.go rejects anything >= OpOr+1, so an operator added
+// without updating this shows up as a round-trip failure here.
+const numBinKinds = OpOr + 1
 
 // randomProgram builds a structurally valid random program: random measure
 // mode (with a matching fold/vector spec) and a random instruction mix.
@@ -75,9 +85,9 @@ func randomExprOver(rng *rand.Rand, depth int, regs []string) Expr {
 			if len(regs) > 0 && rng.Intn(2) == 0 {
 				return Var(regs[rng.Intn(len(regs))])
 			}
-			return Var(fieldNames[rng.Intn(int(NumPktFields))])
+			return Var(Field(rng.Intn(int(NumPktFields))).String())
 		default:
-			return Var(flowVarNames[rng.Intn(int(NumFlowVars))])
+			return Var(FlowVar(rng.Intn(int(NumFlowVars))).String())
 		}
 	}
 	switch rng.Intn(12) {

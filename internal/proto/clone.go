@@ -44,6 +44,9 @@ func Clone(m Msg) Msg {
 	case *Heartbeat:
 		c := *v
 		return &c
+	case *InstallErr:
+		c := *v
+		return &c
 	case *Batch:
 		c := Batch{Msgs: make([]Msg, len(v.Msgs))}
 		for i, sub := range v.Msgs {

@@ -35,10 +35,11 @@ type Decoder struct {
 	backoffs []Backoff
 	snaps    []Snapshot
 	hbs      []Heartbeat
+	instErrs []InstallErr
 	batch    Batch
 
 	nCreate, nMeas, nVec, nUrgent, nClose, nInstall, nCwnd, nRate, nBackoff int
-	nSnap, nHB                                                              int
+	nSnap, nHB, nInstErr                                                    int
 
 	// sub is the cursor for decoding batch sub-messages. It lives on the
 	// Decoder rather than the stack because the recursive decode call defeats
@@ -54,7 +55,7 @@ type Decoder struct {
 func (dec *Decoder) Unmarshal(data []byte) (Msg, error) {
 	dec.nCreate, dec.nMeas, dec.nVec, dec.nUrgent = 0, 0, 0, 0
 	dec.nClose, dec.nInstall, dec.nCwnd, dec.nRate, dec.nBackoff = 0, 0, 0, 0, 0
-	dec.nSnap, dec.nHB = 0, 0
+	dec.nSnap, dec.nHB, dec.nInstErr = 0, 0, 0
 	d := decoder{data: data}
 	m, err := dec.decode(&d, true)
 	if err != nil {
@@ -181,6 +182,11 @@ func (dec *Decoder) decode(d *decoder, allowBatch bool) (Msg, error) {
 	case TypeHeartbeat:
 		v := dec.nextHeartbeat()
 		v.SID, v.Seq, v.SentAt = d.u32(), d.u32(), d.f64()
+		return v, nil
+	case TypeInstallErr:
+		v := dec.nextInstallErr()
+		v.SID, v.Seq = d.u32(), d.u32()
+		v.Reason = d.strInto(v.Reason)
 		return v, nil
 	case TypeBatch:
 		if !allowBatch {
@@ -315,5 +321,14 @@ func (dec *Decoder) nextHeartbeat() *Heartbeat {
 	}
 	v := &dec.hbs[dec.nHB]
 	dec.nHB++
+	return v
+}
+
+func (dec *Decoder) nextInstallErr() *InstallErr {
+	if dec.nInstErr == len(dec.instErrs) {
+		dec.instErrs = append(dec.instErrs, InstallErr{})
+	}
+	v := &dec.instErrs[dec.nInstErr]
+	dec.nInstErr++
 	return v
 }

@@ -3,7 +3,7 @@
 // narrow — the paper's thesis is that this small message set suffices for a
 // wide range of congestion control algorithms:
 //
-//	datapath → agent: Create, Measurement, Vector, Urgent, Close
+//	datapath → agent: Create, Measurement, Vector, Urgent, Close, InstallErr
 //	agent → datapath: Install, SetCwnd, SetRate, Backoff
 //
 // Messages are encoded little-endian with uvarint lengths; each Marshal
@@ -43,6 +43,7 @@ const (
 	TypeBackoff
 	TypeSnapshot
 	TypeHeartbeat
+	TypeInstallErr
 )
 
 func (t MsgType) String() string {
@@ -71,6 +72,8 @@ func (t MsgType) String() string {
 		return "Snapshot"
 	case TypeHeartbeat:
 		return "Heartbeat"
+	case TypeInstallErr:
+		return "InstallErr"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -179,6 +182,17 @@ type Install struct {
 	Prog []byte
 }
 
+// InstallErr is the datapath's reply to an Install it refused: the program
+// failed to parse or was rejected by the install-time verifier. Seq echoes
+// the Install's control sequence number so the agent can attribute the
+// refusal; the previously installed program (or the default) stays in
+// force, so a refused install degrades the flow, never breaks it.
+type InstallErr struct {
+	SID    uint32
+	Seq    uint32 // the refused Install's control sequence number
+	Reason string // human-readable cause, truncated to fit the wire format
+}
+
 // SetCwnd directly sets the congestion window (bytes). It is the degenerate
 // control program for datapaths without program executors.
 type SetCwnd struct {
@@ -237,6 +251,7 @@ func (m *SetCwnd) Type() MsgType     { return TypeSetCwnd }
 func (m *SetRate) Type() MsgType     { return TypeSetRate }
 func (m *Batch) Type() MsgType       { return TypeBatch }
 func (m *Backoff) Type() MsgType     { return TypeBackoff }
+func (m *InstallErr) Type() MsgType  { return TypeInstallErr }
 
 func (m *Create) FlowSID() uint32      { return m.SID }
 func (m *Measurement) FlowSID() uint32 { return m.SID }
@@ -247,6 +262,7 @@ func (m *Install) FlowSID() uint32     { return m.SID }
 func (m *SetCwnd) FlowSID() uint32     { return m.SID }
 func (m *SetRate) FlowSID() uint32     { return m.SID }
 func (m *Backoff) FlowSID() uint32     { return m.SID }
+func (m *InstallErr) FlowSID() uint32  { return m.SID }
 
 // FlowSID returns 0: a batch spans flows, so per-flow routing must unpack
 // it (see Split).
@@ -390,6 +406,13 @@ func AppendMarshal(dst []byte, m Msg) ([]byte, error) {
 		b = binary.LittleEndian.AppendUint32(b, v.SID)
 		b = binary.LittleEndian.AppendUint32(b, v.Seq)
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.SentAt))
+	case *InstallErr:
+		b = binary.LittleEndian.AppendUint32(b, v.SID)
+		b = binary.LittleEndian.AppendUint32(b, v.Seq)
+		var err error
+		if b, err = appendStr(b, v.Reason); err != nil {
+			return nil, err
+		}
 	case *Batch:
 		if len(v.Msgs) > maxBatchMsgs {
 			return nil, fmt.Errorf("proto: batch too large (%d messages)", len(v.Msgs))

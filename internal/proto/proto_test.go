@@ -39,6 +39,8 @@ func sampleMsgs() []Msg {
 			State: []float64{14480, 65535, 2.5, 0.01}},
 		&Snapshot{SID: 13, Closed: true},
 		&Heartbeat{SID: 0, Seq: 9, SentAt: 1.25},
+		&InstallErr{SID: 14, Seq: 41, Reason: "verifier: rate write escapes [0, 1e12]"},
+		&InstallErr{SID: 15},
 	}
 }
 
@@ -79,6 +81,7 @@ func TestTypeAndSID(t *testing.T) {
 		TypeVector, TypeUrgent, TypeUrgent, TypeUrgent, TypeClose, TypeInstall,
 		TypeInstall, TypeSetCwnd, TypeSetRate, TypeBackoff, TypeBackoff,
 		TypeBatch, TypeBatch, TypeSnapshot, TypeSnapshot, TypeHeartbeat,
+		TypeInstallErr, TypeInstallErr,
 	}
 	for i, m := range sampleMsgs() {
 		if m.Type() != wantTypes[i] {
